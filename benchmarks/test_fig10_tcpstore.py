@@ -1,0 +1,18 @@
+"""Figures 10-11: TCPStore latency stays sub-ms; replication ~2x CPU."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig10
+
+
+def test_fig10_fig11_tcpstore(benchmark):
+    result = run_once(
+        benchmark, fig10.run, seed=2016,
+        client_reqs_per_server=(4_000, 20_000, 40_000), duration=0.25,
+    )
+    show(result)
+    for row in result.rows:
+        # paper: median ~0.75 ms at 40K req/s/server -- "insignificant"
+        assert row["set_p50_ms"] < 1.5
+    assert result.summary["set_overhead_pct_at_40k"] < 24.0  # paper bound
+    assert 1.6 < result.summary["cpu_ratio_2r_over_1r"] < 2.4  # paper: ~2x

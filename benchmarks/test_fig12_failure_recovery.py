@@ -1,0 +1,31 @@
+"""Figure 12: YODA maintains every flow through instance failures."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig12
+
+
+def test_fig12a_failure_recovery(benchmark):
+    result = run_once(
+        benchmark, fig12.run, seed=2016, processes=6,
+        num_instances=10, fail_count=2, duration=30.0, fail_at=6.0,
+    )
+    show(result)
+    rows = {r["scenario"]: r for r in result.rows}
+    # the paper's claims:
+    assert rows["haproxy-noretry"]["broken_pct"] > 0  # flows break
+    assert rows["yoda-noretry"]["broken_pct"] == 0  # none break
+    assert rows["yoda-retry"]["broken_pct"] == 0
+    assert rows["haproxy-retry"]["broken_pct"] == 0  # retry saves them...
+    assert rows["haproxy-retry"]["max_s"] > 29  # ...after a ~30 s timeout
+    assert rows["yoda-noretry"]["max_s"] < 10  # paper: +0.6-3 s
+    assert rows["yoda-noretry"]["recovered_flows"] >= 1
+
+
+def test_fig12b_recovery_timeline(benchmark):
+    result = run_once(benchmark, fig12.run_timeline, seed=42)
+    show(result)
+    assert not result.summary["flow_broken"]
+    # server retransmission at ~300 ms, as in the paper's tcpdump
+    assert 0.25 < result.summary["first_rto_s"] < 0.4
+    assert result.summary["total_latency_s"] < 5.0

@@ -1,0 +1,17 @@
+"""Figure 13: elastic scale-out keeps CPU in band, breaks nothing."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig13
+
+
+def test_fig13_scalability(benchmark):
+    result = run_once(benchmark, fig13.run, seed=2016, duration=30.0)
+    show(result)
+    s = result.summary
+    assert s["broken_requests"] == 0
+    assert s["instances_added"] >= 2  # paper adds 3
+    # utilization trajectory: ~40% -> ~80% -> ~60%
+    assert 0.3 < s["cpu_before"] < 0.6
+    assert s["cpu_during_surge"] > s["cpu_before"] + 0.2
+    assert s["cpu_after_scaleout"] < s["cpu_during_surge"] - 0.1

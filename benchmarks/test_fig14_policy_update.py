@@ -1,0 +1,16 @@
+"""Figure 14: make-before-break policy updates."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig14
+
+
+def test_fig14_policy_update(benchmark):
+    result = run_once(benchmark, fig14.run, seed=2016, rate=120.0)
+    show(result)
+    s = result.summary
+    assert s["broken_requests"] == 0
+    assert 0.25 < s["phase1_srv0"] < 0.42  # one third
+    assert 0.17 < s["phase2_srv3_joins"] < 0.33  # one quarter
+    assert s["phase3_srv0_drained"] == 0.0  # removed backend drains
+    assert 0.4 < s["phase4_srv3_double"] < 0.62  # 1:1:2 weights

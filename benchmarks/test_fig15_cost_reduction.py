@@ -1,0 +1,21 @@
+"""Figure 15: max-to-average traffic ratios = per-tenant cost savings."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig15
+
+
+def test_fig15_cost_reduction(benchmark):
+    result = run_once(benchmark, fig15.run, seed=2016)
+    print()
+    # the full table is 100 rows; print summary + extremes
+    print(result.name)
+    for row in result.rows[:5] + result.rows[-3:]:
+        print(row)
+    print("summary:", result.summary)
+    s = result.summary
+    assert s["num_vips"] >= 100  # paper: 100+
+    assert s["total_rules"] >= 50_000  # paper: 50K+
+    assert 2.5 < s["mean_ratio"] < 6.0  # paper: 3.7x average saving
+    assert s["min_ratio"] < 1.3  # paper: 1.07x
+    assert s["max_ratio"] > 15  # paper: 50.3x

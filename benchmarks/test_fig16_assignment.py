@@ -1,0 +1,20 @@
+"""Figure 16: assignment algorithm over the 24 h trace."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig16
+
+
+def test_fig16_assignment(benchmark):
+    result = run_once(benchmark, fig16.run, seed=2016, pool_size=170)
+    show(result)
+    s = result.summary
+    # (b) many-to-many stores a small fraction of all-to-all's rules
+    assert s["rules_frac_median"] < 0.06  # paper: 0.5-3.7%, median 1%
+    # (c) more instances than the all-to-all traffic minimum
+    assert s["extra_instances_vs_ata_avg_pct"] > 0  # paper: +27% avg
+    # (e) the migration limit works: limit << no-limit
+    assert s["limit_migrated_median_pct"] < 11  # paper: 8.3%
+    assert s["nolimit_migrated_median_pct"] > 2 * s["limit_migrated_median_pct"]
+    # (d) transient overload: limit avoids what no-limit suffers
+    assert s["limit_overloaded_median_pct"] < s["nolimit_overloaded_median_pct"]

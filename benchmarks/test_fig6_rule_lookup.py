@@ -1,0 +1,16 @@
+"""Figure 6: rule look-up latency grows linearly with the chain length."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig6
+
+
+def test_fig6_rule_lookup(benchmark):
+    result = run_once(benchmark, fig6.run, seed=2016, lookups_per_size=1500)
+    show(result)
+    p90 = {r["rules"]: r["p90_latency_ms"] for r in result.rows}
+    # the paper's headline: 10K rules cost ~3x 1K rules
+    assert 2.0 < p90[10000] / p90[1000] < 4.0
+    # latency grows monotonically with rule count
+    ordered = [p90[n] for n in sorted(p90)]
+    assert ordered == sorted(ordered)

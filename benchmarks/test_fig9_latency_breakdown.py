@@ -1,0 +1,20 @@
+"""Figure 9 latency breakdown: yoda ~= haproxy ~= baseline + few ms."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig9
+
+
+def test_fig9_latency_breakdown(benchmark):
+    result = run_once(benchmark, fig9.run, seed=2016, rate=100.0, duration=6.0)
+    show(result)
+    rows = {r["scheme"]: r for r in result.rows}
+    baseline = rows["no-LB baseline"]["total_ms"]
+    yoda = rows["yoda"]["total_ms"]
+    haproxy = rows["haproxy"]["total_ms"]
+    # ordering: baseline < haproxy < yoda (paper: 133 / 144 / 151 ms)
+    assert baseline < haproxy < yoda
+    # both LBs add modest overhead (paper: 8-14% over baseline)
+    assert yoda < baseline * 1.35
+    # the TCPStore insert overhead is sub-millisecond-ish (paper: 0.89 ms)
+    assert rows["yoda"]["storage_ms"] < 2.5

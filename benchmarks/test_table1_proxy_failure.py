@@ -1,0 +1,20 @@
+"""Table 1: impact of a proxy failure on website archetypes."""
+
+from conftest import run_once, show
+
+from repro.experiments import table1
+
+
+def test_table1_proxy_failure(benchmark):
+    result = run_once(benchmark, table1.run, seed=2016)
+    show(result)
+    rows = {r["website"]: r for r in result.rows}
+    # static sites wait out the browser HTTP timeout
+    for site in ("nytimes", "reddit", "stanford"):
+        assert "timed-out" in rows[site]["impact_with_proxy_lb"]
+        assert rows[site]["impact_with_yoda"] in ("no impact",) or \
+            rows[site]["impact_with_yoda"].startswith("recovered")
+    # session sites reset
+    for site in ("vimeo", "soundcloud", "email-service"):
+        assert rows[site]["impact_with_proxy_lb"] == "session reset"
+        assert rows[site]["impact_with_yoda"] != "session reset"

@@ -1,0 +1,7 @@
+"""Thin shim so `pip install -e .` works on environments without the
+`wheel` package (PEP 660 editable installs need it; legacy develop does not).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""Reproduction of "YODA: A Highly Available Layer-7 Load Balancer"
+(Gandhi, Hu, Zhang -- EuroSys 2016).
+
+The public API re-exports the pieces a downstream user composes:
+
+- substrate: :class:`EventLoop`, :class:`SeededRng`, :class:`Network`,
+  :class:`Host`, :class:`TcpStack`, :class:`BackendHttpServer`,
+  :class:`BrowserClient`;
+- the system under study: :class:`YodaService` (one-call deployment),
+  :class:`YodaInstance`, :class:`YodaController`, :class:`TcpStore`,
+  :class:`VipPolicy` and the policy helpers;
+- the baseline: :class:`HAProxyInstance` / :class:`HAProxyDeployment`;
+- analysis: the ``repro.experiments`` modules regenerate every table and
+  figure of the paper's evaluation (see DESIGN.md / EXPERIMENTS.md).
+
+Quick start::
+
+    from repro import EventLoop, Network, SeededRng, YodaService
+
+    loop = EventLoop()
+    network = Network(loop, SeededRng(1))
+    yoda = YodaService(loop, network, SeededRng(1))
+    ...
+
+See ``examples/quickstart.py`` for the complete version.
+"""
+
+from repro.baselines import HAProxyDeployment, HAProxyInstance
+from repro.core import (
+    TcpStore,
+    VipPolicy,
+    YodaController,
+    YodaInstance,
+    YodaService,
+    least_loaded,
+    primary_backup,
+    sticky_sessions,
+    weighted_split,
+)
+from repro.http import BackendHttpServer, BrowserClient, StaticSite
+from repro.kvstore import MemcachedCluster, MemcachedServer, ReplicatingKvClient
+from repro.l4lb import L4LoadBalancer
+from repro.net import Endpoint, Host, Network
+from repro.sim import EventLoop, SeededRng
+from repro.tcp import TcpStack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EventLoop",
+    "SeededRng",
+    "Network",
+    "Host",
+    "Endpoint",
+    "TcpStack",
+    "BackendHttpServer",
+    "BrowserClient",
+    "StaticSite",
+    "MemcachedServer",
+    "MemcachedCluster",
+    "ReplicatingKvClient",
+    "L4LoadBalancer",
+    "YodaService",
+    "YodaInstance",
+    "YodaController",
+    "TcpStore",
+    "VipPolicy",
+    "weighted_split",
+    "primary_backup",
+    "sticky_sessions",
+    "least_loaded",
+    "HAProxyInstance",
+    "HAProxyDeployment",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints the rows the corresponding paper table/figure
+reports, in a stable aligned format suitable for diffing across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[List[str]] = None,
+    title: str = "",
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = columns or list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, sep, body])
+    return "\n".join(parts)

@@ -1,0 +1,52 @@
+"""Small statistics helpers shared by experiments (no numpy on hot paths)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return math.fsum(values) / len(values)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Exact percentile with linear interpolation, p in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError(f"p out of range: {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50)
+
+
+def cdf_points(values: Sequence[float], points: int = 100) -> List[Tuple[float, float]]:
+    """Downsampled (value, cumulative fraction) pairs."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return []
+    step = max(1, n // points)
+    out = [(ordered[i], (i + 1) / n) for i in range(0, n, step)]
+    if out[-1][0] != ordered[-1]:
+        out.append((ordered[-1], 1.0))
+    return out
+
+
+def fraction(values: Iterable[bool]) -> float:
+    items = list(values)
+    if not items:
+        return 0.0
+    return sum(items) / len(items)

@@ -1,0 +1,16 @@
+"""Baselines the paper compares YODA against.
+
+- :class:`~repro.baselines.haproxy.HAProxyInstance` -- the proxy-style L7
+  LB (Section 2.2): terminates client and backend TCP connections with its
+  *own* stack, keeps all flow state locally, splices bytes between the two
+  sockets.  When the VM dies, both TCP states die with it -- Problem 1 of
+  Section 2.3.
+- :class:`~repro.baselines.haproxy.HAProxyDeployment` -- several HAProxy
+  instances behind the L4 LB with a conventional health checker: failed
+  instances are removed for *new* flows, but established flows stay pinned
+  (there is no flow-state store to migrate them with).
+"""
+
+from repro.baselines.haproxy import HAProxyCostModel, HAProxyDeployment, HAProxyInstance
+
+__all__ = ["HAProxyInstance", "HAProxyDeployment", "HAProxyCostModel"]

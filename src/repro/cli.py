@@ -1,0 +1,124 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures without pytest::
+
+    python -m repro list
+    python -m repro run fig12 --seed 7
+    python -m repro run all
+
+Each experiment prints the same rows its benchmark checks; `--seed`
+changes the deterministic seed, `--quick` shrinks the workload for a fast
+sanity pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import fig6, fig9, fig10, fig12, fig13, fig14, fig15, fig16, table1
+
+# name -> (description, full_run(seed), quick_run(seed))
+EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
+    "table1": (
+        "impact of proxy failure on website archetypes",
+        lambda seed: table1.run(seed=seed),
+        lambda seed: table1.run(seed=seed, sites=table1.SITES[:2]),
+    ),
+    "fig6": (
+        "rule look-up latency vs number of rules",
+        lambda seed: fig6.run(seed=seed),
+        lambda seed: fig6.run(seed=seed, rule_counts=(1000, 4000, 10000),
+                              lookups_per_size=300),
+    ),
+    "fig9": (
+        "end-to-end latency breakdown (baseline / YODA / HAProxy)",
+        lambda seed: fig9.run(seed=seed),
+        lambda seed: fig9.run(seed=seed, rate=60.0, duration=4.0,
+                              num_instances=2),
+    ),
+    "sec71": (
+        "LB instance CPU utilization (YODA vs HAProxy)",
+        lambda seed: fig9.run_cpu(seed=seed),
+        lambda seed: fig9.run_cpu(seed=seed, rate=200.0, duration=3.0),
+    ),
+    "fig10": (
+        "TCPStore latency and CPU vs load (figs 10-11)",
+        lambda seed: fig10.run(seed=seed),
+        lambda seed: fig10.run(seed=seed,
+                               client_reqs_per_server=(4_000, 20_000),
+                               duration=0.15),
+    ),
+    "fig12": (
+        "failure recovery: 4 scenarios + packet timeline",
+        lambda seed: fig12.run(seed=seed, processes=6, duration=30.0,
+                               fail_at=6.0),
+        lambda seed: fig12.run(seed=seed, processes=3, num_instances=6,
+                               duration=15.0, fail_at=4.0),
+    ),
+    "fig12b": (
+        "recovery packet timeline at the backend",
+        lambda seed: fig12.run_timeline(seed=seed),
+        lambda seed: fig12.run_timeline(seed=seed, object_bytes=500_000),
+    ),
+    "fig13": (
+        "elastic scale-out under a 2x traffic surge",
+        lambda seed: fig13.run(seed=seed),
+        lambda seed: fig13.run(seed=seed, initial_instances=3,
+                               spare_instances=2,
+                               base_rate_per_instance=80.0,
+                               duration=16.0, step_at=6.0),
+    ),
+    "fig14": (
+        "make-before-break policy updates",
+        lambda seed: fig14.run(seed=seed),
+        lambda seed: fig14.run(seed=seed, rate=50.0),
+    ),
+    "fig15": (
+        "per-VIP max/avg traffic ratios (cost reduction)",
+        lambda seed: fig15.run(seed=seed),
+        lambda seed: fig15.run(seed=seed),
+    ),
+    "fig16": (
+        "VIP assignment over the 24 h trace",
+        lambda seed: fig16.run(seed=seed, pool_size=170),
+        lambda seed: fig16.run(seed=seed, pool_size=170, interval_stride=36),
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the YODA paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    runp.add_argument("--seed", type=int, default=2016)
+    runp.add_argument("--quick", action="store_true",
+                      help="smaller workloads, same shapes")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(n) for n in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name:<{width}}  {EXPERIMENTS[name][0]}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _, full, quick = EXPERIMENTS[name]
+        started = time.perf_counter()
+        result = (quick if args.quick else full)(args.seed)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,304 @@
+"""The YODA controller (paper Section 6, Figure 8).
+
+Four roles, as in the paper:
+
+- **User interface**: converts operator policies into rules and installs
+  them on the instances a VIP is assigned to (only new connections see new
+  versions).
+- **Assignment updater**: pushes VIP-to-instance mappings into the L4 LB.
+- **Monitor**: pings YODA instances, Memcached servers and backends every
+  600 ms; a failure is therefore detected with at most 600 ms delay --
+  the failover clock visible in Figure 12(b).
+- **Scaling**: watches instance CPU and activates spare instances
+  (Figure 13); addition/removal never breaks flows because flows migrate
+  through TCPStore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.instance import YodaInstance
+from repro.core.policy import VipPolicy
+from repro.errors import ControllerError
+from repro.http.server import BackendHttpServer
+from repro.kvstore.client import MemcachedCluster
+from repro.l4lb.service import L4LoadBalancer
+from repro.sim.events import EventLoop
+from repro.sim.metrics import MetricRegistry
+from repro.sim.process import PeriodicTask
+
+MONITOR_INTERVAL = 0.6
+
+
+class ControllerHealthView:
+    """The backend view the selectors consult.
+
+    Reflects *monitor-detected* state, not instantaneous truth: a backend
+    that just died is still selected until the next 600 ms ping round.
+    """
+
+    def __init__(self) -> None:
+        self._healthy: Dict[str, bool] = {}
+        self._load: Dict[str, float] = {}
+
+    def is_healthy(self, backend: str) -> bool:
+        return self._healthy.get(backend, True)
+
+    def load(self, backend: str) -> float:
+        return self._load.get(backend, 0.0)
+
+    def update(self, backend: str, healthy: bool, load: float) -> None:
+        self._healthy[backend] = healthy
+        self._load[backend] = load
+
+    def forget(self, backend: str) -> None:
+        self._healthy.pop(backend, None)
+        self._load.pop(backend, None)
+
+
+@dataclass
+class AutoscaleConfig:
+    """Scale-out policy for Figure 13."""
+
+    high_watermark: float = 0.70  # add instances above this average CPU
+    low_watermark: float = 0.25  # (optional) release spares below this
+    target: float = 0.55  # size so average CPU lands here
+    check_interval: float = 5.0
+    scale_down: bool = False
+
+
+class YodaController:
+    """Central control plane for one YODA deployment."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        l4lb: L4LoadBalancer,
+        instances: Sequence[YodaInstance],
+        kv_cluster: Optional[MemcachedCluster] = None,
+        monitor_interval: float = MONITOR_INTERVAL,
+    ):
+        self.loop = loop
+        self.l4lb = l4lb
+        self.kv_cluster = kv_cluster
+        self.instances: Dict[str, YodaInstance] = {}
+        self.active: Dict[str, bool] = {}  # participating in mappings
+        self.spares: List[YodaInstance] = []
+        self.backends: Dict[str, BackendHttpServer] = {}
+        self.policies: Dict[str, VipPolicy] = {}
+        self.assignments: Dict[str, List[str]] = {}  # vip -> instance names
+        self.health_view = ControllerHealthView()
+        self.metrics = MetricRegistry("controller")
+        self._instance_alive: Dict[str, bool] = {}
+        self._autoscale: Optional[AutoscaleConfig] = None
+        self._scaler: Optional[PeriodicTask] = None
+        self.traffic_stats: Dict[str, int] = {}
+
+        for instance in instances:
+            self._adopt(instance)
+        self._monitor = PeriodicTask(loop, monitor_interval, self._monitor_tick)
+        self._monitor.start()
+
+    # ------------------------------------------------------------ instances --
+    def _adopt(self, instance: YodaInstance) -> None:
+        if instance.name in self.instances:
+            raise ControllerError(f"duplicate instance {instance.name!r}")
+        self.instances[instance.name] = instance
+        self.active[instance.name] = True
+        self._instance_alive[instance.name] = True
+        instance.backend_view = self.health_view
+
+    def add_instance(self, instance: YodaInstance,
+                     assign_all_vips: bool = True) -> None:
+        """Bring a new instance into service without breaking any flow:
+        installing policies first, then widening the L4 mappings."""
+        self._adopt(instance)
+        if assign_all_vips:
+            for vip, policy in self.policies.items():
+                instance.install_policy(policy)
+                self.assignments[vip].append(instance.name)
+                self._push_mapping(vip)
+        self.metrics.counter("instances_added").inc()
+
+    def add_spare(self, instance: YodaInstance) -> None:
+        """Register a provisioned-but-idle instance for the autoscaler."""
+        self.spares.append(instance)
+        instance.backend_view = self.health_view
+
+    def remove_instance(self, name: str) -> None:
+        """Gracefully drain an instance.  Its in-flight flows migrate to
+        the remaining instances through TCPStore -- no connection breaks
+        (this is Problem 2 of Section 2.3 solved)."""
+        if name not in self.instances:
+            raise ControllerError(f"unknown instance {name!r}")
+        self.active[name] = False
+        for vip, assigned in self.assignments.items():
+            if name in assigned:
+                assigned.remove(name)
+                self._push_mapping(vip, flush_instance=self.instances[name].ip)
+        self.metrics.counter("instances_removed").inc()
+
+    def live_instance_names(self, vip: Optional[str] = None) -> List[str]:
+        names = self.assignments.get(vip, list(self.instances)) if vip \
+            else list(self.instances)
+        return [
+            n for n in names
+            if self.active.get(n) and self._instance_alive.get(n)
+        ]
+
+    # ----------------------------------------------------------------- VIPs --
+    def add_vip(self, policy: VipPolicy,
+                backends: Optional[Dict[str, BackendHttpServer]] = None,
+                instance_names: Optional[List[str]] = None) -> None:
+        """VIP addition (Section 5.2): compute/record the assignment,
+        install rules on the assigned instances, then map the VIP at the
+        L4 LB -- strictly in that order, so no packet arrives at an
+        instance without rules."""
+        vip = policy.vip
+        if vip in self.policies:
+            raise ControllerError(f"VIP {vip} already exists")
+        self.policies[vip] = policy
+        if backends:
+            for name, server in backends.items():
+                self.backends[name] = server
+        names = instance_names or [
+            n for n, live in self._instance_alive.items()
+            if live and self.active.get(n)
+        ]
+        if not names:
+            raise ControllerError("no live instances to assign the VIP to")
+        self.assignments[vip] = list(names)
+        for name in names:
+            self.instances[name].install_policy(policy)
+        self.l4lb.register_vip(vip)
+        self._push_mapping(vip)
+        self.metrics.counter("vips_added").inc()
+
+    def remove_vip(self, vip: str) -> None:
+        """Reverse order of addition: unmap first, then drop rules."""
+        if vip not in self.policies:
+            raise ControllerError(f"unknown VIP {vip}")
+        self.l4lb.unregister_vip(vip)
+        for name in self.assignments.pop(vip, []):
+            instance = self.instances.get(name)
+            if instance is not None:
+                instance.remove_policy(vip)
+        del self.policies[vip]
+        self.metrics.counter("vips_removed").inc()
+
+    def update_policy(self, policy: VipPolicy) -> None:
+        """Push a new policy version.  Instances apply it to new
+        connections only, so existing flows are never re-routed
+        (Section 5.2, the Figure 14 experiment)."""
+        vip = policy.vip
+        if vip not in self.policies:
+            raise ControllerError(f"unknown VIP {vip}")
+        if policy.version <= self.policies[vip].version:
+            policy = self.policies[vip].updated(
+                rules=policy.rules, backends=policy.backends
+            )
+        self.policies[vip] = policy
+        for name in self.assignments.get(vip, []):
+            instance = self.instances.get(name)
+            if instance is not None:
+                instance.install_policy(policy)
+        self.metrics.counter("policy_updates").inc()
+
+    def set_assignment(self, vip: str, instance_names: List[str]) -> None:
+        """Install a (re)computed VIP-to-instance assignment (Section 4.5)."""
+        if vip not in self.policies:
+            raise ControllerError(f"unknown VIP {vip}")
+        policy = self.policies[vip]
+        for name in instance_names:
+            self.instances[name].install_policy(policy)
+        removed = set(self.assignments.get(vip, [])) - set(instance_names)
+        self.assignments[vip] = list(instance_names)
+        self._push_mapping(vip)
+        # rules on removed instances are dropped lazily once their flows
+        # drain; the mapping change is what redirects traffic
+
+    def _push_mapping(self, vip: str, flush_instance: Optional[str] = None) -> None:
+        ips = [
+            self.instances[n].ip
+            for n in self.assignments.get(vip, [])
+            if self._instance_alive.get(n) and self.active.get(n)
+        ]
+        self.l4lb.update_mapping(vip, ips, flush_removed=True)
+
+    # --------------------------------------------------------------- monitor --
+    def register_backend(self, name: str, server: BackendHttpServer) -> None:
+        self.backends[name] = server
+
+    def _monitor_tick(self) -> None:
+        # YODA instances: remove failed ones from every mapping + flush
+        for name, instance in self.instances.items():
+            alive = not instance.host.failed
+            if not alive and self._instance_alive.get(name, True):
+                self._instance_alive[name] = False
+                self.metrics.counter("instance_failures_detected").inc()
+                for vip, assigned in self.assignments.items():
+                    if name in assigned:
+                        self._push_mapping(vip)
+            elif alive and not self._instance_alive.get(name, True):
+                self._instance_alive[name] = True
+                for vip, assigned in self.assignments.items():
+                    if name in assigned:
+                        self._push_mapping(vip)
+        # backends: update the health view the selectors consult
+        for name, server in self.backends.items():
+            self.health_view.update(
+                name, not server.host.failed, float(server.active_requests)
+            )
+        # Memcached servers: drop dead ones from the replication ring
+        if self.kv_cluster is not None:
+            for name, server in self.kv_cluster.servers.items():
+                if server.host.failed and name in self.kv_cluster.ring:
+                    self.kv_cluster.mark_dead(name)
+                    self.metrics.counter("kv_failures_detected").inc()
+                elif not server.host.failed and name not in self.kv_cluster.ring:
+                    self.kv_cluster.mark_live(name)
+        # traffic statistics from the instances
+        for name, instance in self.instances.items():
+            if self._instance_alive[name]:
+                for vip, count in instance.read_and_reset_traffic().items():
+                    self.traffic_stats[vip] = self.traffic_stats.get(vip, 0) + count
+
+    # ------------------------------------------------------------- autoscale --
+    def enable_autoscaling(self, config: Optional[AutoscaleConfig] = None) -> None:
+        self._autoscale = config or AutoscaleConfig()
+        for instance in self.instances.values():
+            instance.cpu.reset_window()
+        self._scaler = PeriodicTask(
+            self.loop, self._autoscale.check_interval, self._autoscale_tick
+        )
+        self._scaler.start()
+
+    def _autoscale_tick(self) -> None:
+        assert self._autoscale is not None
+        live = [
+            self.instances[n] for n in self.instances
+            if self._instance_alive[n] and self.active.get(n)
+        ]
+        if not live:
+            return
+        utils = [i.cpu.utilization_window() for i in live]
+        for i in live:
+            i.cpu.reset_window()
+        avg = sum(utils) / len(utils)
+        cfg = self._autoscale
+        if avg > cfg.high_watermark and self.spares:
+            import math
+
+            wanted = math.ceil(len(live) * avg / cfg.target)
+            to_add = min(max(wanted - len(live), 1), len(self.spares))
+            for _ in range(to_add):
+                spare = self.spares.pop(0)
+                self.add_instance(spare)
+            self.metrics.counter("scaled_up").inc(to_add)
+        elif cfg.scale_down and avg < cfg.low_watermark and len(live) > 1:
+            victim = live[-1]
+            self.remove_instance(victim.name)
+            self.spares.append(victim)
+            self.metrics.counter("scaled_down").inc()

@@ -1,0 +1,146 @@
+"""The decoupled flow state (paper Sections 3-4).
+
+An end-to-end client flow through YODA is two TCP connections (client-VIP
+and VIP-server) plus the selected server.  Everything another instance
+needs to take the flow over is captured here and serialized into TCPStore:
+
+- the client's initial sequence number (from storage-a, before SYN-ACK);
+- the chosen backend, the SNAT port, and the server's initial sequence
+  number (from storage-b, before the ACK to the server);
+- for HTTP/1.1, the rolling stream offsets that keep sequence translation
+  correct across backend switches.
+
+The client-facing ISN is *not* stored: it is recomputed by hashing the
+client's IP and port (Section 4.1), which is what lets every instance send
+identical SYN-ACKs.
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.net.addresses import Endpoint
+from repro.sim.random import stable_hash32
+
+
+class FlowPhase(enum.Enum):
+    """Where the flow is in its life (paper Section 4.1)."""
+
+    AWAIT_HEADER = "await_header"  # connection phase: collecting the HTTP header
+    SERVER_SYN_SENT = "server_syn_sent"  # connecting to the selected backend
+    TUNNEL = "tunnel"  # tunneling phase: pure L3 forwarding
+    CLOSING = "closing"  # FINs observed; awaiting final ACKs
+
+
+def yoda_isn(client: Endpoint, vip: Endpoint) -> int:
+    """The deterministic client-facing ISN.
+
+    Hash of the client source IP-port tuple (plus the VIP so distinct
+    services differ).  All instances compute the same value, so a SYN
+    retransmitted after an instance failure gets the *same* SYN-ACK from
+    whichever instance receives it -- no storage round-trip needed.
+    """
+    return stable_hash32(f"{client}|{vip}", salt="yoda-isn")
+
+
+def client_key(client: Endpoint, vip: Endpoint) -> str:
+    """TCPStore key for lookups by client-side 4-tuple."""
+    return f"yoda:c:{client}:{vip}"
+
+
+def server_key(vip_ip: str, snat_port: int, server: Endpoint) -> str:
+    """TCPStore key for lookups by server-side 4-tuple (return traffic
+    arrives at VIP:snat_port from the backend)."""
+    return f"yoda:s:{vip_ip}:{snat_port}:{server}"
+
+
+@dataclass
+class FlowState:
+    """The persisted per-flow record."""
+
+    client: Endpoint
+    vip: Endpoint
+    client_isn: int
+    phase: str = FlowPhase.AWAIT_HEADER.value
+    # populated at storage-b time:
+    server: Optional[Endpoint] = None
+    server_isn: Optional[int] = None
+    snat_port: Optional[int] = None
+    # stream offsets for HTTP/1.1 backend switching: how many request bytes
+    # preceded the current backend connection, and how many response bytes
+    # the client had received before it (both zero for HTTP/1.0).
+    request_offset: int = 0
+    response_offset: int = 0
+    created_at: float = 0.0
+    # SSL termination (Section 5.2): client bytes the instance has already
+    # ACKed during the handshake (so a recovering instance can replay its
+    # TLS state machine), and the length of the deterministic handshake
+    # flight (so the backend's duplicate of it can be suppressed).
+    client_prefix: bytes = b""
+    tls_handshake_len: int = 0
+
+    @property
+    def yoda_isn(self) -> int:
+        return yoda_isn(self.client, self.vip)
+
+    @property
+    def established(self) -> bool:
+        return self.server is not None and self.server_isn is not None
+
+    def storage_key(self) -> str:
+        return client_key(self.client, self.vip)
+
+    def server_storage_key(self) -> Optional[str]:
+        if self.server is None or self.snat_port is None:
+            return None
+        return server_key(self.vip.ip, self.snat_port, self.server)
+
+    # -- serialization ------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        doc = {
+            "client": str(self.client),
+            "vip": str(self.vip),
+            "client_isn": self.client_isn,
+            "phase": self.phase,
+            "server": str(self.server) if self.server else None,
+            "server_isn": self.server_isn,
+            "snat_port": self.snat_port,
+            "request_offset": self.request_offset,
+            "response_offset": self.response_offset,
+            "created_at": self.created_at,
+            "client_prefix": (
+                base64.b64encode(self.client_prefix).decode()
+                if self.client_prefix else ""
+            ),
+            "tls_handshake_len": self.tls_handshake_len,
+        }
+        return json.dumps(doc, separators=(",", ":")).encode()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "FlowState":
+        try:
+            doc = json.loads(raw.decode())
+            return cls(
+                client=Endpoint.parse(doc["client"]),
+                vip=Endpoint.parse(doc["vip"]),
+                client_isn=doc["client_isn"],
+                phase=doc["phase"],
+                server=Endpoint.parse(doc["server"]) if doc.get("server") else None,
+                server_isn=doc.get("server_isn"),
+                snat_port=doc.get("snat_port"),
+                request_offset=doc.get("request_offset", 0),
+                response_offset=doc.get("response_offset", 0),
+                created_at=doc.get("created_at", 0.0),
+                client_prefix=(
+                    base64.b64decode(doc["client_prefix"])
+                    if doc.get("client_prefix") else b""
+                ),
+                tls_handshake_len=doc.get("tls_handshake_len", 0),
+            )
+        except (KeyError, ValueError, json.JSONDecodeError) as exc:
+            raise ReproError(f"corrupt flow state: {exc}") from exc

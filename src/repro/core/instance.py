@@ -1,0 +1,975 @@
+"""The YODA instance: a user-level packet driver (paper Sections 4 and 6).
+
+An instance never owns an end-to-end TCP connection.  It:
+
+1. **Connection phase** -- answers a client SYN with a SYN-ACK whose
+   sequence number is a hash of the client's IP:port (so every instance
+   would answer identically), *after* persisting the client SYN to
+   TCPStore (storage-a); collects the HTTP header; selects a backend via
+   the rule table; opens the backend connection *reusing the client's
+   initial sequence number* so client->server packets never need sequence
+   rewriting; persists the server connection (storage-b) *before* ACKing
+   the backend's SYN-ACK.
+2. **Tunneling phase** -- rewrites addresses and translates server->client
+   sequence numbers by the constant C - S (Figure 4); TCP congestion
+   control stays at the endpoints.
+3. **Recovery** -- packets for flows it has never seen trigger a TCPStore
+   lookup (by client 4-tuple for client-side packets, by VIP SNAT port for
+   server-side packets); the retrieved state is enough to resume
+   forwarding mid-flow, which is the paper's headline mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.flowstate import FlowPhase, FlowState, yoda_isn
+from repro.core.policy import VipPolicy
+from repro.core.selector import AllHealthy, BackendView, RuleTable, ScanCostModel
+from repro.core.tcpstore import TcpStore
+from repro.errors import ControllerError
+from repro.http import tls
+from repro.http.message import HttpRequest
+from repro.http.parser import HttpParser
+from repro.net.addresses import Endpoint
+from repro.net.host import Host
+from repro.net.packet import ACK, FIN, RST, SYN, Packet
+from repro.sim.cpu import CpuModel
+from repro.sim.events import EventLoop
+from repro.sim.metrics import MetricRegistry
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.random import SeededRng
+from repro.tcp.segment import seq_add, seq_diff
+
+DEFAULT_SNAT_RANGE = (40000, 41000)
+SERVER_SYN_RTO = 3.0
+SERVER_SYN_RETRIES = 3
+FLOW_LINGER = 1.0
+FLOW_IDLE_TIMEOUT = 120.0
+MSS = 1460
+CERT_RETRANSMIT = 0.5
+
+
+@dataclass
+class YodaCostModel:
+    """Per-instance cost calibration.
+
+    ``packet_cpu_*`` drive utilization/saturation (Section 7.1: a YODA
+    instance saturates around 12K small req/s -- roughly 2x HAProxy's CPU,
+    attributed to user/kernel packet copies).  ``packet_latency`` is the
+    per-packet processing delay of the user-space nfqueue driver.
+    ``scan_cpu_per_rule`` is the CPU side of rule scanning; its latency
+    side lives in :class:`~repro.core.selector.ScanCostModel`.
+    """
+
+    packet_cpu_base: float = 4.0e-6
+    packet_cpu_per_byte: float = 1.5e-9
+    packet_latency: float = 4.0e-4
+    scan_cpu_base: float = 5.0e-6
+    scan_cpu_per_rule: float = 5.0e-8
+
+    def packet_cost(self, pkt: Packet) -> float:
+        return self.packet_cpu_base + self.packet_cpu_per_byte * pkt.wire_len
+
+
+class _LocalFlow:
+    """In-memory flow record; everything durable lives in ``state``."""
+
+    __slots__ = (
+        "state", "phase", "parser", "parsed", "request", "req_chunks", "req_assembled",
+        "syn_stored", "storage_b_inflight", "fin_client", "fin_server",
+        "syn_timer", "syn_tries", "last_seen", "cleanup_scheduled",
+        "recovered", "t_syn", "t_synack", "t_header", "t_server_syn",
+        "t_established", "policy_version", "forwarded_req_bytes",
+        "parsed_bytes", "requests_seen", "resp_high",
+        "tls", "tls_codec", "tls_records", "tls_hello_done",
+        "resp_out", "resp_acked", "cert_timer",
+    )
+
+    def __init__(self, state: FlowState, now: float):
+        self.state = state
+        self.phase = FlowPhase(state.phase)
+        self.parser = HttpParser("request")
+        self.parsed: List[HttpRequest] = []  # complete requests seen so far
+        self.request: Optional[HttpRequest] = None
+        self.req_chunks: Dict[int, bytes] = {}  # offset -> payload
+        self.req_assembled = bytearray()  # contiguous prefix of request bytes
+        self.syn_stored = False
+        self.storage_b_inflight = False
+        self.fin_client = False
+        self.fin_server = False
+        self.syn_timer: Optional[Timer] = None
+        self.syn_tries = 0
+        self.last_seen = now
+        self.cleanup_scheduled = False
+        self.recovered = False
+        self.t_syn = now
+        self.t_synack = 0.0
+        self.t_header = 0.0
+        self.t_server_syn = 0.0
+        self.t_established = 0.0
+        self.policy_version = 0
+        self.forwarded_req_bytes = 0
+        self.parsed_bytes = 0  # wire bytes consumed by completed requests
+        # requests handled so far; None disables HTTP/1.1 backend switching
+        # (set after recovery, when the request parser lost its context)
+        self.requests_seen: Optional[int] = 0
+        self.resp_high = 0  # response bytes of the CURRENT backend delivered
+        # SSL termination (Section 5.2)
+        self.tls = False
+        self.tls_codec: Optional[tls.TlsCodec] = None
+        self.tls_records: List = []
+        self.tls_hello_done = False
+        self.resp_out = b""  # instance-originated bytes (the cert flight)
+        self.resp_acked = 0
+        self.cert_timer: Optional[Timer] = None
+
+    def key(self) -> str:
+        return f"{self.state.client}|{self.state.vip}"
+
+    def buffer_request_bytes(self, offset: int, payload: bytes) -> None:
+        """Accumulate client request bytes by stream offset, feeding the
+        parser only with never-seen contiguous bytes."""
+        if offset < 0:
+            return
+        have = len(self.req_assembled)
+        if offset > have:
+            self.req_chunks[offset] = payload
+            return
+        fresh = payload[have - offset:]
+        if fresh:
+            self.req_assembled.extend(fresh)
+            self._feed(fresh)
+        # drain any chunks made contiguous
+        while self.req_chunks:
+            have = len(self.req_assembled)
+            chunk = self.req_chunks.pop(have, None)
+            if chunk is None:
+                nxt = min(self.req_chunks)
+                if nxt > have:
+                    break
+                chunk = self.req_chunks.pop(nxt)
+                chunk = chunk[have - nxt:]
+            if chunk:
+                self.req_assembled.extend(chunk)
+                self._feed(chunk)
+
+    def _feed(self, data: bytes) -> None:
+        if self.tls:
+            self.tls_records.extend(self.tls_codec.feed(data))
+            return
+        for item in self.parser.feed(data):
+            # remember where each request started in the client stream so a
+            # backend switch can re-base sequence numbers (Section 5.2)
+            self.parsed.append((item.message, self.parsed_bytes))
+            self.parsed_bytes += item.wire_bytes
+
+    def enable_tls(self) -> None:
+        self.tls = True
+        self.tls_codec = tls.TlsCodec()
+        self.requests_seen = None  # backend switching is HTTP-only
+
+    def header_ready(self) -> bool:
+        """True once the (first unconsumed) request header has arrived."""
+        return bool(self.parsed) or self.parser.header_complete()
+
+
+def flow_key(client: Endpoint, vip: Endpoint) -> str:
+    return f"{client}|{vip}"
+
+
+class YodaInstance:
+    """One YODA LB VM."""
+
+    def __init__(
+        self,
+        host: Host,
+        loop: EventLoop,
+        rng: SeededRng,
+        tcpstore: TcpStore,
+        cost_model: Optional[YodaCostModel] = None,
+        scan_cost_model: Optional[ScanCostModel] = None,
+        l4lb=None,
+    ):
+        self.host = host
+        self.loop = loop
+        self.rng = rng.fork(f"yoda/{host.name}")
+        self.tcpstore = tcpstore
+        self.cost = cost_model or YodaCostModel()
+        self.scan_cost_model = scan_cost_model or ScanCostModel()
+        self.l4lb = l4lb
+        self.cpu = CpuModel(loop)
+        self.metrics = MetricRegistry(host.name)
+        self.backend_view: BackendView = AllHealthy()
+
+        self.policies: Dict[str, VipPolicy] = {}
+        self._tables: Dict[str, Tuple[int, RuleTable]] = {}
+        self.flows: Dict[str, _LocalFlow] = {}
+        self.by_server: Dict[Tuple[str, int], str] = {}  # (server_ep, snat_port) -> flow key
+        self._recovering_c: Dict[str, List[Packet]] = {}
+        self._recovering_s: Dict[Tuple[str, int], List[Packet]] = {}
+        self._snat_next: Dict[str, int] = {}
+        self._snat_in_use: Dict[str, set] = {}
+        self.vip_bytes: Dict[str, int] = {}
+        self.completed_flows = 0
+
+        host.set_handler(self._on_packet_raw)
+        self._gc = PeriodicTask(loop, 30.0, self._collect_idle_flows)
+        self._gc.start()
+
+    # ------------------------------------------------------------- lifecycle --
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def ip(self) -> str:
+        return self.host.ip
+
+    def fail(self) -> None:
+        """Crash the VM: the network drops its traffic and, crucially, all
+        local flow state is gone (only TCPStore survives)."""
+        self.host.fail()
+        for flow in self.flows.values():
+            if flow.syn_timer is not None:
+                flow.syn_timer.cancel()
+            if flow.cert_timer is not None:
+                flow.cert_timer.cancel()
+        self.flows.clear()
+        self.by_server.clear()
+        self._recovering_c.clear()
+        self._recovering_s.clear()
+
+    def recover(self) -> None:
+        self.host.recover()
+
+    # ---------------------------------------------------------------- policy --
+    def install_policy(self, policy: VipPolicy) -> None:
+        """Install/refresh a VIP's rules.  Only new connections see the new
+        version (Section 5.2): existing flows already carry their backend.
+        """
+        self.policies[policy.vip] = policy
+        self._tables[policy.vip] = (
+            policy.version,
+            RuleTable(policy.rules, self.scan_cost_model),
+        )
+        self.vip_bytes.setdefault(policy.vip, 0)
+
+    def remove_policy(self, vip: str) -> None:
+        self.policies.pop(vip, None)
+        self._tables.pop(vip, None)
+
+    def rule_count(self) -> int:
+        return sum(p.rule_count for p in self.policies.values())
+
+    def read_and_reset_traffic(self) -> Dict[str, int]:
+        """Controller hook: per-VIP bytes since the last read."""
+        out = dict(self.vip_bytes)
+        for vip in self.vip_bytes:
+            self.vip_bytes[vip] = 0
+        return out
+
+    # ------------------------------------------------------------- packet I/O --
+    def _on_packet_raw(self, pkt: Packet) -> None:
+        if pkt.meta.get("kv_resp") is not None:
+            # Memcached client traffic is consumed by the embedded library
+            self.tcpstore.kv.handle_response(pkt)
+            return
+        if pkt.meta.get("kv") is not None:
+            return  # not a store server; ignore stray
+        self.metrics.counter("packets_in").inc()
+        self.cpu.execute(self.cost.packet_cost(pkt), self._after_cpu, pkt)
+
+    def _after_cpu(self, pkt: Packet) -> None:
+        if self.host.failed:
+            return
+        self.loop.call_later(self.cost.packet_latency, self._dispatch, pkt)
+
+    def _dispatch(self, pkt: Packet) -> None:
+        if self.host.failed:
+            return
+        policy = self.policies.get(pkt.dst.ip)
+        if policy is None:
+            self.metrics.counter("no_policy_drop").inc()
+            return
+        if pkt.dst.port == policy.port:
+            self._handle_client_packet(pkt, policy)
+        else:
+            self._handle_server_packet(pkt, policy)
+
+    def _send(self, pkt: Packet) -> None:
+        self.metrics.counter("packets_out").inc()
+        self.host.send(pkt)
+
+    # =========================================================== client side ==
+    def _handle_client_packet(self, pkt: Packet, policy: VipPolicy) -> None:
+        key = flow_key(pkt.src, pkt.dst)
+        flow = self.flows.get(key)
+        self.vip_bytes[policy.vip] = self.vip_bytes.get(policy.vip, 0) + pkt.wire_len
+
+        if pkt.syn and not pkt.has_ack:
+            self._handle_client_syn(key, pkt, flow)
+            return
+        if flow is None:
+            # Unknown flow: recovery path.  Even a pure ACK matters -- a
+            # client mid-download sends nothing else, and the backend needs
+            # those ACKs forwarded to keep its send window moving.
+            self._recover_by_client(key, pkt)
+            return
+        self._client_packet_on_flow(flow, pkt, policy)
+
+    def _handle_client_syn(self, key: str, pkt: Packet,
+                           flow: Optional[_LocalFlow]) -> None:
+        if flow is not None:
+            if flow.syn_stored:
+                self._send_syn_ack(flow)  # duplicate SYN: deterministic reply
+            return
+        state = FlowState(
+            client=pkt.src, vip=pkt.dst, client_isn=pkt.seq,
+            created_at=self.loop.now(),
+        )
+        flow = _LocalFlow(state, self.loop.now())
+        policy = self.policies[pkt.dst.ip]
+        if policy.certificate is not None:
+            flow.enable_tls()
+        flow.policy_version = policy.version
+        self.flows[key] = flow
+        self.metrics.counter("flows_opened").inc()
+        t0 = self.loop.now()
+        # storage-a MUST complete before the SYN-ACK leaves (Figure 3)
+        self.tcpstore.store_client_syn(
+            state, lambda ok: self._storage_a_done(key, ok, t0)
+        )
+
+    def _storage_a_done(self, key: str, ok: bool, t0: float) -> None:
+        flow = self.flows.get(key)
+        if flow is None or self.host.failed:
+            return
+        if not ok:
+            # cannot guarantee recoverability -> do not ACK; the client
+            # will retransmit its SYN and we will try again.
+            self.metrics.counter("storage_a_failed").inc()
+            del self.flows[key]
+            return
+        self.metrics.histogram("storage_a_latency").observe(self.loop.now() - t0)
+        flow.syn_stored = True
+        flow.t_synack = self.loop.now()
+        self._send_syn_ack(flow)
+
+    def _send_syn_ack(self, flow: _LocalFlow) -> None:
+        state = flow.state
+        self._send(Packet(
+            src=state.vip, dst=state.client, flags=SYN | ACK,
+            seq=state.yoda_isn, ack=seq_add(state.client_isn, 1),
+        ))
+
+    def _client_packet_on_flow(self, flow: _LocalFlow, pkt: Packet,
+                               policy: VipPolicy) -> None:
+        flow.last_seen = self.loop.now()
+        state = flow.state
+        if pkt.rst:
+            if flow.phase is FlowPhase.TUNNEL and state.established:
+                self._send(self._translate_to_server(flow, pkt))
+            self._destroy_flow(flow, remove_stored=True)
+            return
+        if flow.phase in (FlowPhase.AWAIT_HEADER, FlowPhase.SERVER_SYN_SENT):
+            if flow.tls and pkt.has_ack and flow.resp_out:
+                # track how much of our certificate flight the client has
+                acked = seq_diff(pkt.ack, seq_add(state.yoda_isn, 1))
+                if acked > flow.resp_acked:
+                    flow.resp_acked = min(acked, len(flow.resp_out))
+                    if flow.resp_acked >= len(flow.resp_out) and flow.cert_timer:
+                        flow.cert_timer.cancel()
+            if pkt.payload:
+                offset = seq_diff(pkt.seq, seq_add(state.client_isn, 1))
+                flow.buffer_request_bytes(offset, pkt.payload)
+                if flow.phase is FlowPhase.AWAIT_HEADER:
+                    if flow.tls:
+                        self._tls_progress(flow, policy)
+                    elif flow.header_ready():
+                        flow.t_header = self.loop.now()
+                        self._select_and_connect(flow, policy)
+            if pkt.fin:
+                # client gave up before we even picked a server
+                flow.fin_client = True
+                self._destroy_flow(flow, remove_stored=True)
+            return
+        # tunneling phase: pure translation -- except that HTTP/1.1 lets
+        # the client send further requests on the same connection, which
+        # may match a different rule and need a different backend
+        # (Section 5.2).  The stream keeps being parsed; a new request is
+        # re-classified and, if needed, the backend is switched.
+        if flow.phase in (FlowPhase.TUNNEL, FlowPhase.CLOSING):
+            forward = True
+            if pkt.payload and flow.requests_seen is not None:
+                offset = seq_diff(pkt.seq, seq_add(state.client_isn, 1))
+                flow.buffer_request_bytes(offset, pkt.payload)
+                if len(flow.parsed) > flow.requests_seen:
+                    flow.requests_seen = len(flow.parsed)
+                    request, start_offset = flow.parsed[-1]
+                    if self._maybe_switch_backend(flow, request,
+                                                  start_offset, policy):
+                        forward = False  # these bytes go to the new backend
+            if pkt.fin:
+                flow.fin_client = True
+            if forward:
+                self._send(self._translate_to_server(flow, pkt))
+            self._maybe_finish(flow)
+
+    # ------------------------------------------------------ SSL termination --
+    def _tls_progress(self, flow: _LocalFlow, policy: VipPolicy) -> None:
+        """Drive the TLS state machine from the parsed client records."""
+        state = flow.state
+        while flow.tls_records:
+            rtype, payload = flow.tls_records.pop(0)
+            if rtype == tls.CLIENT_HELLO and not flow.tls_hello_done:
+                flow.tls_hello_done = True
+                # store-before-ACK: the certificate flight acknowledges the
+                # hello, so the hello bytes must be recoverable first
+                state.client_prefix = bytes(flow.req_assembled)
+                t0 = self.loop.now()
+                self.tcpstore.store_client_syn(
+                    state,
+                    lambda ok: self._tls_prefix_stored(flow.key(), ok, t0),
+                )
+            elif rtype == tls.RETRY_PING:
+                # a stalled client nudging after a failover: resend from
+                # the first unacked byte (client TCP discards duplicates)
+                if flow.tls_hello_done and flow.resp_acked < len(flow.resp_out):
+                    self._send_cert_flight(flow)
+            elif rtype == tls.APP_DATA and flow.request is None:
+                # decrypt the request header and select the backend
+                request = self._parse_header_only(payload)
+                if request is None:
+                    parser = HttpParser("request")
+                    msgs = parser.feed(payload)
+                    request = msgs[0].message if msgs else None
+                if request is not None:
+                    flow.t_header = self.loop.now()
+                    self._dispatch_selection(flow, policy, request)
+            # KEY_EXCHANGE needs no action: the key is derivable by all
+
+    def _tls_prefix_stored(self, key: str, ok: bool, t0: float) -> None:
+        flow = self.flows.get(key)
+        if flow is None or self.host.failed:
+            return
+        if not ok:
+            self.metrics.counter("storage_a_failed").inc()
+            return  # client will retransmit the hello; we try again
+        self.metrics.histogram("storage_a_latency").observe(self.loop.now() - t0)
+        policy = self.policies.get(flow.state.vip.ip)
+        if policy is None or policy.certificate is None:
+            return
+        if not flow.resp_out:
+            flow.resp_out = tls.certificate_flight(policy.certificate)
+        self._send_cert_flight(flow)
+
+    def _send_cert_flight(self, flow: _LocalFlow) -> None:
+        """(Re)send the certificate from the first unacked byte; any
+        instance produces identical bytes, so a resend after failover is
+        transparent (Section 5.2)."""
+        state = flow.state
+        data = flow.resp_out[flow.resp_acked:]
+        base = seq_add(state.yoda_isn, 1 + flow.resp_acked)
+        ack = seq_add(state.client_isn, 1 + len(flow.req_assembled))
+        for off in range(0, len(data), MSS):
+            self._send(Packet(
+                src=state.vip, dst=state.client, flags=ACK,
+                seq=seq_add(base, off), ack=ack,
+                payload=data[off:off + MSS],
+            ))
+        if flow.cert_timer is None:
+            key = flow.key()
+            flow.cert_timer = Timer(self.loop,
+                                    lambda: self._cert_rto(key))
+        flow.cert_timer.start(CERT_RETRANSMIT)
+
+    def _resend_cert_if_alive(self, key: str) -> None:
+        flow = self.flows.get(key)
+        if flow is not None and flow.tls and not self.host.failed:
+            self._send_cert_flight(flow)
+
+    def _cert_rto(self, key: str) -> None:
+        flow = self.flows.get(key)
+        if flow is None or not flow.tls or self.host.failed:
+            return
+        if flow.resp_acked < len(flow.resp_out):
+            self._send_cert_flight(flow)
+
+    # ----------------------------------------------------- selection + connect --
+    def _select_and_connect(self, flow: _LocalFlow, policy: VipPolicy) -> None:
+        if flow.parsed:
+            request = flow.parsed[0][0]
+        else:
+            # header complete but body still streaming: parse header only
+            request = self._parse_header_only(bytes(flow.req_assembled))
+            if request is None:
+                return
+        self._dispatch_selection(flow, policy, request)
+
+    def _dispatch_selection(self, flow: _LocalFlow, policy: VipPolicy,
+                            request: HttpRequest) -> None:
+        """Classify a (possibly decrypted) request and start the backend
+        connection after the rule-scan latency."""
+        flow.request = request
+        if flow.requests_seen is not None:
+            flow.requests_seen = max(1, len(flow.parsed))
+        version, table = self._tables[policy.vip]
+        flow.policy_version = version
+        result = table.select(request, self.rng, self.backend_view)
+        scan_cpu = self.cost.scan_cpu_base + self.cost.scan_cpu_per_rule * len(table)
+        self.cpu.execute(scan_cpu)
+        if result is None:
+            self.metrics.counter("no_backend").inc()
+            self._send(Packet(src=flow.state.vip, dst=flow.state.client,
+                              flags=RST | ACK, seq=flow.state.yoda_isn,
+                              ack=seq_add(flow.state.client_isn, 1)))
+            self._destroy_flow(flow, remove_stored=True)
+            return
+        self.metrics.histogram("scan_latency").observe(result.scan_latency)
+        self.metrics.counter("selections").inc()
+        # the scan itself takes time (Figure 6) before the server SYN goes out
+        self.loop.call_later(
+            result.scan_latency, self._connect_server, flow.key(),
+            result.backend, policy,
+        )
+
+    @staticmethod
+    def _parse_header_only(raw: bytes) -> Optional[HttpRequest]:
+        """Build a request from the header block alone (the body may still
+        be streaming in; selection only needs the header)."""
+        idx = raw.find(b"\r\n\r\n")
+        if idx < 0:
+            return None
+        from repro.http.message import Headers, parse_request_line
+
+        lines = raw[:idx].split(b"\r\n")
+        try:
+            method, path, version = parse_request_line(lines[0])
+        except Exception:
+            return None
+        headers = Headers()
+        for line in lines[1:]:
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers.set(name.strip(), value.strip())
+        req = HttpRequest(method=method, path=path, version=version)
+        req.headers = headers
+        return req
+
+    def _connect_server(self, key: str, backend: str, policy: VipPolicy) -> None:
+        flow = self.flows.get(key)
+        if flow is None or self.host.failed or flow.phase is not FlowPhase.AWAIT_HEADER:
+            return
+        state = flow.state
+        server_ep = policy.endpoint_of(backend)
+        snat_port = self._alloc_snat_port(policy.vip)
+        state.server = server_ep
+        state.snat_port = snat_port
+        if flow.tls:
+            # the backend will replay the identical deterministic
+            # handshake flight; remember how many bytes to suppress
+            state.tls_handshake_len = len(flow.resp_out)
+        flow.phase = FlowPhase.SERVER_SYN_SENT
+        state.phase = FlowPhase.SERVER_SYN_SENT.value
+        self.by_server[(str(server_ep), snat_port)] = key
+        flow.t_server_syn = self.loop.now()
+        self._send_server_syn(flow)
+        flow.syn_timer = Timer(self.loop, lambda: self._server_syn_rto(key))
+        flow.syn_timer.start(SERVER_SYN_RTO)
+
+    def _send_server_syn(self, flow: _LocalFlow) -> None:
+        state = flow.state
+        # Reuse the client's ISN (offset by any earlier requests) so the
+        # client's data bytes flow to the server without seq rewriting.
+        isn = seq_add(state.client_isn, state.request_offset)
+        self._send(Packet(
+            src=Endpoint(state.vip.ip, state.snat_port), dst=state.server,
+            flags=SYN, seq=isn,
+        ))
+
+    def _server_syn_rto(self, key: str) -> None:
+        flow = self.flows.get(key)
+        if flow is None or flow.phase is not FlowPhase.SERVER_SYN_SENT:
+            return
+        flow.syn_tries += 1
+        if flow.syn_tries > SERVER_SYN_RETRIES:
+            self.metrics.counter("server_connect_failed").inc()
+            self._send(Packet(src=flow.state.vip, dst=flow.state.client,
+                              flags=RST | ACK, seq=flow.state.yoda_isn,
+                              ack=seq_add(flow.state.client_isn, 1)))
+            self._destroy_flow(flow, remove_stored=True)
+            return
+        self._send_server_syn(flow)
+        flow.syn_timer.start(SERVER_SYN_RTO * (2 ** flow.syn_tries))
+
+    def _alloc_snat_port(self, vip: str) -> int:
+        if self.l4lb is not None:
+            lo, hi = self.l4lb.snat_range(vip, self.ip)
+        else:
+            lo, hi = DEFAULT_SNAT_RANGE
+        in_use = self._snat_in_use.setdefault(vip, set())
+        for attempt in range(2):
+            port = self._snat_next.get(vip, lo)
+            for _ in range(hi - lo):
+                candidate = port
+                port = port + 1 if port + 1 < hi else lo
+                if candidate not in in_use:
+                    in_use.add(candidate)
+                    self._snat_next[vip] = port
+                    return candidate
+            # under pressure, reclaim flows that are already closing
+            if attempt == 0:
+                closing = [f for f in list(self.flows.values())
+                           if f.phase is FlowPhase.CLOSING]
+                for flow in closing:
+                    self._destroy_flow(flow, remove_stored=True)
+                if not closing:
+                    break
+        raise ControllerError(f"SNAT ports exhausted on {self.name} for {vip}")
+
+    # =========================================================== server side ==
+    def _handle_server_packet(self, pkt: Packet, policy: VipPolicy) -> None:
+        skey = (str(pkt.src), pkt.dst.port)
+        key = self.by_server.get(skey)
+        flow = self.flows.get(key) if key is not None else None
+        if flow is None:
+            self._recover_by_server(skey, pkt, policy)
+            return
+        flow.last_seen = self.loop.now()
+        state = flow.state
+        if pkt.rst:
+            # backend reset: propagate to the client, translated
+            if state.established:
+                self._send(self._translate_to_client(flow, pkt))
+            else:
+                self._send(Packet(src=state.vip, dst=state.client,
+                                  flags=RST | ACK, seq=state.yoda_isn,
+                                  ack=seq_add(state.client_isn, 1)))
+            self._destroy_flow(flow, remove_stored=True)
+            return
+        if pkt.syn and pkt.has_ack:
+            self._handle_server_syn_ack(flow, pkt)
+            return
+        if flow.phase in (FlowPhase.TUNNEL, FlowPhase.CLOSING):
+            if state.tls_handshake_len and pkt.payload:
+                pkt = self._suppress_duplicate_handshake(flow, pkt)
+                if pkt is None:
+                    return
+            if pkt.payload:
+                rel = seq_diff(seq_add(pkt.seq, pkt.payload_len),
+                               seq_add(state.server_isn, 1))
+                if rel > flow.resp_high:
+                    flow.resp_high = rel
+            if pkt.fin:
+                flow.fin_server = True
+            self._send(self._translate_to_client(flow, pkt))
+            self._maybe_finish(flow)
+
+    def _handle_server_syn_ack(self, flow: _LocalFlow, pkt: Packet) -> None:
+        state = flow.state
+        if flow.phase is FlowPhase.TUNNEL:
+            # our handshake ACK was lost; repeat it
+            self._send_server_handshake_ack(flow)
+            return
+        if flow.phase is not FlowPhase.SERVER_SYN_SENT or flow.storage_b_inflight:
+            return
+        expected_ack = seq_add(state.client_isn, state.request_offset + 1)
+        if pkt.ack != expected_ack:
+            return
+        state.server_isn = pkt.seq
+        flow.storage_b_inflight = True
+        t0 = self.loop.now()
+        state.phase = FlowPhase.TUNNEL.value
+        # storage-b MUST complete before the ACK to the server (Figure 3)
+        self.tcpstore.store_server_conn(
+            state, lambda ok: self._storage_b_done(flow.key(), ok, t0)
+        )
+
+    def _storage_b_done(self, key: str, ok: bool, t0: float) -> None:
+        flow = self.flows.get(key)
+        if flow is None or self.host.failed:
+            return
+        flow.storage_b_inflight = False
+        if not ok:
+            # leave SERVER_SYN_SENT; the server retransmits its SYN-ACK and
+            # we will retry persisting.
+            flow.state.phase = FlowPhase.SERVER_SYN_SENT.value
+            self.metrics.counter("storage_b_failed").inc()
+            return
+        if flow.syn_timer is not None:
+            flow.syn_timer.cancel()
+        now = self.loop.now()
+        self.metrics.histogram("storage_b_latency").observe(now - t0)
+        self.metrics.histogram("server_connect_latency").observe(
+            now - flow.t_server_syn
+        )
+        flow.phase = FlowPhase.TUNNEL
+        flow.t_established = now
+        self._send_server_handshake_ack(flow)
+        self._forward_buffered_request(flow)
+
+    def _send_server_handshake_ack(self, flow: _LocalFlow) -> None:
+        state = flow.state
+        self._send(Packet(
+            src=Endpoint(state.vip.ip, state.snat_port), dst=state.server,
+            flags=ACK, seq=seq_add(state.client_isn, state.request_offset + 1),
+            ack=seq_add(state.server_isn, 1),
+        ))
+
+    def _forward_buffered_request(self, flow: _LocalFlow) -> None:
+        """Replay the buffered HTTP header bytes to the backend, in the
+        client's own sequence space."""
+        state = flow.state
+        data = bytes(flow.req_assembled[flow.forwarded_req_bytes:])
+        base = seq_add(state.client_isn, 1 + flow.forwarded_req_bytes)
+        for off in range(0, len(data), MSS):
+            chunk = data[off:off + MSS]
+            self._send(Packet(
+                src=Endpoint(state.vip.ip, state.snat_port), dst=state.server,
+                flags=ACK, seq=seq_add(base, off),
+                ack=seq_add(state.server_isn, 1), payload=chunk,
+            ))
+        flow.forwarded_req_bytes += len(data)
+
+    def _maybe_switch_backend(self, flow: _LocalFlow, request, start_offset: int,
+                              policy: VipPolicy) -> bool:
+        """Re-classify an HTTP/1.1 follow-up request; switch backends if it
+        matches a different one (Section 5.2).
+
+        The mechanics reuse the connection-phase tricks with offsets:
+        the new backend connection's ISN is the client's stream position
+        at the request boundary (so request bytes still flow unrewritten),
+        and the server->client delta accumulates the response bytes
+        already delivered by previous backends.
+        """
+        state = flow.state
+        version, table = self._tables[policy.vip]
+        result = table.select(request, self.rng, self.backend_view)
+        if result is None:
+            return False  # keep the current backend rather than reset
+        new_ep = policy.endpoint_of(result.backend)
+        if new_ep == state.server:
+            return False  # same backend: the connection is simply reused
+        self.metrics.counter("backend_switches").inc()
+        # close the old backend connection and drop its TCPStore index
+        old_skey = (str(state.server), state.snat_port)
+        self.by_server.pop(old_skey, None)
+        self.tcpstore.remove_server_index(state)
+        self._send(Packet(
+            src=Endpoint(state.vip.ip, state.snat_port), dst=state.server,
+            flags=RST | ACK,
+            seq=seq_add(state.client_isn, 1 + len(flow.req_assembled)),
+            ack=seq_add(state.server_isn or 0, 1),
+        ))
+        in_use = self._snat_in_use.get(state.vip.ip)
+        if in_use is not None and state.snat_port is not None:
+            in_use.discard(state.snat_port)
+        # re-base the flow onto the new backend
+        state.request_offset = start_offset
+        state.response_offset += flow.resp_high
+        flow.resp_high = 0
+        state.server = new_ep
+        state.server_isn = None
+        state.snat_port = self._alloc_snat_port(policy.vip)
+        state.phase = FlowPhase.SERVER_SYN_SENT.value
+        flow.phase = FlowPhase.SERVER_SYN_SENT
+        flow.forwarded_req_bytes = start_offset
+        flow.syn_tries = 0
+        flow.policy_version = version
+        self.by_server[(str(new_ep), state.snat_port)] = flow.key()
+        flow.t_server_syn = self.loop.now()
+        self._send_server_syn(flow)
+        if flow.syn_timer is None:
+            key = flow.key()
+            flow.syn_timer = Timer(self.loop, lambda: self._server_syn_rto(key))
+        flow.syn_timer.start(SERVER_SYN_RTO)
+        return True
+
+    # ========================================================== translation ==
+    def _suppress_duplicate_handshake(self, flow: _LocalFlow,
+                                      pkt: Packet) -> Optional[Packet]:
+        """Drop (or trim) backend response bytes that duplicate the TLS
+        handshake flight this instance already served to the client,
+        ACKing them locally so the backend's window keeps moving."""
+        state = flow.state
+        sup = state.tls_handshake_len
+        rel = seq_diff(pkt.seq, seq_add(state.server_isn, 1))
+        end = rel + pkt.payload_len
+        if rel >= sup:
+            return pkt  # past the handshake: nothing to do
+        # ACK the suppressed span toward the backend
+        self._send(Packet(
+            src=Endpoint(state.vip.ip, state.snat_port), dst=state.server,
+            flags=ACK,
+            seq=seq_add(state.client_isn, 1 + len(flow.req_assembled)),
+            ack=seq_add(state.server_isn, 1 + min(end, sup)),
+        ))
+        if end <= sup:
+            return None  # entirely within the duplicate flight
+        keep = sup - rel
+        return pkt.copy(seq=seq_add(pkt.seq, keep), payload=pkt.payload[keep:])
+
+    def _delta(self, state: FlowState) -> int:
+        """Server->client sequence offset: C - S (plus HTTP/1.1 response
+        offset when the backend has been switched mid-connection)."""
+        return seq_diff(seq_add(state.yoda_isn, state.response_offset),
+                        state.server_isn)
+
+    def _translate_to_client(self, flow: _LocalFlow, pkt: Packet) -> Packet:
+        state = flow.state
+        return pkt.copy(
+            src=state.vip, dst=state.client,
+            seq=seq_add(pkt.seq, self._delta(state)),
+            # the server ACKs bytes in the client's own sequence space
+            # (ISN reuse), so the ack field passes through untouched
+        )
+
+    def _translate_to_server(self, flow: _LocalFlow, pkt: Packet) -> Packet:
+        state = flow.state
+        return pkt.copy(
+            src=Endpoint(state.vip.ip, state.snat_port), dst=state.server,
+            ack=seq_add(pkt.ack, -self._delta(state)) if pkt.has_ack else 0,
+        )
+
+    # ============================================================== recovery ==
+    def _recover_by_client(self, key: str, pkt: Packet) -> None:
+        if key in self._recovering_c:
+            self._recovering_c[key].append(pkt)
+            return
+        self._recovering_c[key] = [pkt]
+        self.metrics.counter("recovery_lookups_client").inc()
+        self.tcpstore.get_by_client(
+            pkt.src, pkt.dst, lambda st: self._client_recovery_done(key, st)
+        )
+
+    def _client_recovery_done(self, key: str, state: Optional[FlowState]) -> None:
+        queued = self._recovering_c.pop(key, [])
+        if self.host.failed:
+            return
+        if state is None:
+            self.metrics.counter("recovery_miss").inc()
+            return
+        flow = self._install_recovered(key, state)
+        policy = self.policies.get(state.vip.ip)
+        if policy is None:
+            return
+        for pkt in queued:
+            self._client_packet_on_flow(flow, pkt, policy)
+
+    def _recover_by_server(self, skey: Tuple[str, int], pkt: Packet,
+                           policy: VipPolicy) -> None:
+        if skey in self._recovering_s:
+            self._recovering_s[skey].append(pkt)
+            return
+        self._recovering_s[skey] = [pkt]
+        self.metrics.counter("recovery_lookups_server").inc()
+        server_ep = Endpoint.parse(skey[0])
+        self.tcpstore.get_by_server(
+            pkt.dst.ip, skey[1], server_ep,
+            lambda st: self._server_recovery_done(skey, st),
+        )
+
+    def _server_recovery_done(self, skey: Tuple[str, int],
+                              state: Optional[FlowState]) -> None:
+        queued = self._recovering_s.pop(skey, [])
+        if self.host.failed:
+            return
+        if state is None:
+            self.metrics.counter("recovery_miss").inc()
+            # orphan half-open server connection: clean it up so the
+            # backend does not retransmit forever
+            for pkt in queued:
+                if not pkt.rst:
+                    self._send(Packet(
+                        src=pkt.dst, dst=pkt.src, flags=RST | ACK,
+                        seq=pkt.ack if pkt.has_ack else 0,
+                        ack=seq_add(pkt.seq, max(pkt.seq_span, 1)),
+                    ))
+            return
+        key = flow_key(state.client, state.vip)
+        flow = self._install_recovered(key, state)
+        policy = self.policies.get(state.vip.ip)
+        if policy is None:
+            return
+        for pkt in queued:
+            self._handle_server_packet(pkt, policy)
+
+    def _install_recovered(self, key: str, state: FlowState) -> _LocalFlow:
+        existing = self.flows.get(key)
+        if existing is not None:
+            return existing
+        flow = _LocalFlow(state, self.loop.now())
+        flow.syn_stored = True
+        flow.recovered = True
+        flow.requests_seen = None  # HTTP/1.1 switching needs parser context
+        policy = self.policies.get(state.vip.ip)
+        if policy is not None and policy.certificate is not None:
+            flow.enable_tls()
+            flow.resp_out = tls.certificate_flight(policy.certificate)
+            if state.client_prefix and not state.established:
+                # mid-handshake takeover: replay the stored hello through
+                # our own codec, then resend the entire certificate -- the
+                # client's TCP discards the duplicate segments (paper 5.2)
+                flow.req_assembled = bytearray(state.client_prefix)
+                flow.tls_records.extend(
+                    flow.tls_codec.feed(state.client_prefix))
+                for rtype, _ in flow.tls_records:
+                    if rtype == tls.CLIENT_HELLO:
+                        flow.tls_hello_done = True
+                flow.tls_records = [
+                    r for r in flow.tls_records if r[0] != tls.CLIENT_HELLO
+                ]
+                if flow.tls_hello_done:
+                    self.loop.call_soon(self._resend_cert_if_alive, key)
+        if state.established:
+            flow.phase = FlowPhase.TUNNEL
+            self.by_server[(str(state.server), state.snat_port)] = key
+            # a recovered tunnel flow replays no header; the endpoints'
+            # own retransmissions drive it
+            flow.forwarded_req_bytes = 0
+        else:
+            flow.phase = FlowPhase.AWAIT_HEADER
+        self.flows[key] = flow
+        self.metrics.counter("flows_recovered").inc()
+        return flow
+
+    # ================================================================ cleanup ==
+    def _maybe_finish(self, flow: _LocalFlow) -> None:
+        if flow.fin_client and flow.fin_server:
+            flow.phase = FlowPhase.CLOSING
+            if not flow.cleanup_scheduled:
+                flow.cleanup_scheduled = True
+                self.loop.call_later(FLOW_LINGER, self._finish_flow, flow.key())
+
+    def _finish_flow(self, key: str) -> None:
+        flow = self.flows.get(key)
+        if flow is None:
+            return
+        self.completed_flows += 1
+        self.metrics.counter("flows_completed").inc()
+        self._destroy_flow(flow, remove_stored=True)
+
+    def _destroy_flow(self, flow: _LocalFlow, remove_stored: bool) -> None:
+        state = flow.state
+        self.flows.pop(flow.key(), None)
+        if flow.syn_timer is not None:
+            flow.syn_timer.cancel()
+        if flow.cert_timer is not None:
+            flow.cert_timer.cancel()
+        if state.server is not None and state.snat_port is not None:
+            self.by_server.pop((str(state.server), state.snat_port), None)
+            in_use = self._snat_in_use.get(state.vip.ip)
+            if in_use is not None:
+                in_use.discard(state.snat_port)
+        if remove_stored and not self.host.failed:
+            self.tcpstore.remove(state)
+
+    def _collect_idle_flows(self) -> None:
+        now = self.loop.now()
+        stale = [f for f in self.flows.values()
+                 if now - f.last_seen > FLOW_IDLE_TIMEOUT]
+        for flow in stale:
+            self.metrics.counter("flows_idle_reaped").inc()
+            self._destroy_flow(flow, remove_stored=True)

@@ -1,0 +1,121 @@
+"""One-call construction of a complete YODA deployment.
+
+Wires up, in the testbed's shape (Section 7 setup): an L4 LB, N YODA
+instance VMs, M Memcached (TCPStore) VMs with a shared cluster view, and
+the controller.  Experiments and examples build on this instead of
+hand-assembling hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.controller import YodaController
+from repro.core.instance import YodaCostModel, YodaInstance
+from repro.core.policy import VipPolicy
+from repro.core.selector import ScanCostModel
+from repro.core.tcpstore import TcpStore
+from repro.http.server import BackendHttpServer
+from repro.kvstore.client import MemcachedCluster, ReplicatingKvClient
+from repro.kvstore.memcached import MemcachedServer
+from repro.l4lb.service import L4LoadBalancer
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.sim.events import EventLoop
+from repro.sim.random import SeededRng
+
+
+@dataclass
+class YodaServiceConfig:
+    """Deployment sizing knobs (defaults mirror the paper's testbed)."""
+
+    num_instances: int = 10
+    num_store_servers: int = 10
+    num_muxes: int = 4
+    store_replicas: int = 2
+    mapping_propagation: float = 0.2
+    monitor_interval: float = 0.6
+    cost_model: YodaCostModel = field(default_factory=YodaCostModel)
+    scan_cost_model: ScanCostModel = field(default_factory=ScanCostModel)
+    instance_prefix: str = "10.1"
+    store_prefix: str = "10.2"
+
+
+class YodaService:
+    """A fully wired YODA deployment."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: Network,
+        rng: SeededRng,
+        config: Optional[YodaServiceConfig] = None,
+    ):
+        self.loop = loop
+        self.network = network
+        self.rng = rng
+        self.config = config or YodaServiceConfig()
+        cfg = self.config
+
+        self.l4lb = L4LoadBalancer(
+            loop, network, rng, num_muxes=cfg.num_muxes,
+            mapping_propagation=cfg.mapping_propagation,
+        )
+
+        self.store_servers: List[MemcachedServer] = []
+        for i in range(cfg.num_store_servers):
+            host = network.attach(
+                Host(f"tcpstore-{i}", [f"{cfg.store_prefix}.0.{i + 1}"], site="dc")
+            )
+            self.store_servers.append(MemcachedServer(host, loop))
+        self.kv_cluster = MemcachedCluster(self.store_servers)
+
+        self.instances: List[YodaInstance] = []
+        for i in range(cfg.num_instances):
+            self.instances.append(self._build_instance(i))
+        self._next_instance_id = cfg.num_instances
+
+        self.controller = YodaController(
+            loop, self.l4lb, self.instances, kv_cluster=self.kv_cluster,
+            monitor_interval=cfg.monitor_interval,
+        )
+
+    def _build_instance(self, index: int) -> YodaInstance:
+        cfg = self.config
+        host = self.network.attach(
+            Host(f"yoda-{index}", [f"{cfg.instance_prefix}.0.{index + 1}"], site="dc")
+        )
+        kv = ReplicatingKvClient(
+            host, self.loop, self.kv_cluster, replicas=cfg.store_replicas
+        )
+        return YodaInstance(
+            host, self.loop, self.rng, TcpStore(kv),
+            cost_model=cfg.cost_model, scan_cost_model=cfg.scan_cost_model,
+            l4lb=self.l4lb,
+        )
+
+    # -- convenience -----------------------------------------------------------
+    def new_spare_instance(self) -> YodaInstance:
+        """Provision an extra instance VM and hand it to the autoscaler."""
+        instance = self._build_instance(self._next_instance_id)
+        self._next_instance_id += 1
+        self.controller.add_spare(instance)
+        return instance
+
+    def add_service(
+        self,
+        policy: VipPolicy,
+        backends: Dict[str, BackendHttpServer],
+        instance_names: Optional[List[str]] = None,
+    ) -> None:
+        """Onboard one online service (VIP + backends + rules)."""
+        self.controller.add_vip(policy, backends=backends,
+                                instance_names=instance_names)
+
+    def instance_by_name(self, name: str) -> YodaInstance:
+        return self.controller.instances[name]
+
+    def settle(self, duration: float = 1.0) -> None:
+        """Run the loop briefly so mappings/health state propagate."""
+        self.loop.run_for(duration)

@@ -1,0 +1,89 @@
+"""TCPStore: the flow-state facade over the replicating Memcached client.
+
+Implements the storage protocol of Figure 3:
+
+- ``storage-a``: persist the client SYN information *before* the SYN-ACK
+  goes out.
+- ``storage-b``: persist the server connection (backend, SNAT port, server
+  ISN) *before* ACKing the server's SYN-ACK; also writes a server-side
+  index entry so return traffic rerouted after a failure can find the flow.
+
+The guiding invariant (Section 4.2): every packet a YODA instance ACKs is
+in TCPStore first, so no acknowledged information can be lost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.flowstate import FlowState, client_key, server_key
+from repro.kvstore.client import KvOpResult, ReplicatingKvClient
+from repro.net.addresses import Endpoint
+
+
+class TcpStore:
+    """One instance's handle on the shared flow-state store."""
+
+    def __init__(self, kv: ReplicatingKvClient):
+        self.kv = kv
+        self.storage_a_ops = 0
+        self.storage_b_ops = 0
+
+    # -- writes ----------------------------------------------------------------
+    def store_client_syn(self, state: FlowState,
+                         on_done: Callable[[bool], None]) -> None:
+        """storage-a: one set, completing before the SYN-ACK is sent."""
+        self.storage_a_ops += 1
+        self.kv.set(state.storage_key(), state.to_bytes(),
+                    lambda r: on_done(r.ok))
+
+    def store_server_conn(self, state: FlowState,
+                          on_done: Callable[[bool], None]) -> None:
+        """storage-b: update the client record and write the server-side
+        index, in parallel; completes when both ack (before the ACK to the
+        server is released)."""
+        skey = state.server_storage_key()
+        if skey is None:
+            raise ValueError("store_server_conn() before a server was selected")
+        self.storage_b_ops += 1
+        outcome = {"pending": 2, "ok": True}
+
+        def _one(result: KvOpResult) -> None:
+            outcome["pending"] -= 1
+            outcome["ok"] = outcome["ok"] and result.ok
+            if outcome["pending"] == 0:
+                on_done(outcome["ok"])
+
+        payload = state.to_bytes()
+        self.kv.set(state.storage_key(), payload, _one)
+        self.kv.set(skey, payload, _one)
+
+    # -- reads (only on the recovery path) ----------------------------------------
+    def get_by_client(self, client: Endpoint, vip: Endpoint,
+                      on_done: Callable[[Optional[FlowState]], None]) -> None:
+        self.kv.get(client_key(client, vip), lambda r: on_done(self._decode(r)))
+
+    def get_by_server(self, vip_ip: str, snat_port: int, server: Endpoint,
+                      on_done: Callable[[Optional[FlowState]], None]) -> None:
+        self.kv.get(server_key(vip_ip, snat_port, server),
+                    lambda r: on_done(self._decode(r)))
+
+    # -- removal (on FIN-ACK, Section 4.1) -------------------------------------------
+    def remove(self, state: FlowState) -> None:
+        self.kv.delete(state.storage_key())
+        skey = state.server_storage_key()
+        if skey is not None:
+            self.kv.delete(skey)
+
+    def remove_server_index(self, state: FlowState) -> None:
+        """Drop only the server-side index entry (used when an HTTP/1.1
+        backend switch retires the old server connection)."""
+        skey = state.server_storage_key()
+        if skey is not None:
+            self.kv.delete(skey)
+
+    @staticmethod
+    def _decode(result: KvOpResult) -> Optional[FlowState]:
+        if not result.ok or result.value is None:
+            return None
+        return FlowState.from_bytes(result.value)

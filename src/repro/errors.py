@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single except clause without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, or running a loop that was
+    already stopped.
+    """
+
+
+class NetworkError(ReproError):
+    """Invalid network operation (unknown address, duplicate host, ...)."""
+
+
+class AddressError(NetworkError):
+    """An IP address or endpoint string could not be parsed or allocated."""
+
+
+class TcpError(ReproError):
+    """A TCP endpoint was driven into an invalid operation for its state."""
+
+
+class HttpError(ReproError):
+    """Malformed HTTP message or invalid client/server usage."""
+
+
+class HttpParseError(HttpError):
+    """Raw bytes could not be parsed as an HTTP message."""
+
+
+class KvStoreError(ReproError):
+    """Key-value store (Memcached substrate) failure."""
+
+
+class StoreUnavailableError(KvStoreError):
+    """Not enough live replicas to complete a storage operation."""
+
+
+class PolicyError(ReproError):
+    """A user policy / rule definition is invalid."""
+
+
+class AssignmentError(ReproError):
+    """The VIP-to-instance assignment problem is malformed or infeasible."""
+
+
+class InfeasibleError(AssignmentError):
+    """No assignment satisfies the constraints (Eq. 1-7 of the paper)."""
+
+
+class ControllerError(ReproError):
+    """Invalid controller operation (unknown VIP, duplicate instance, ...)."""

@@ -1,0 +1,10 @@
+"""One module per paper table/figure (see DESIGN.md's experiment index).
+
+Every experiment exposes ``run(...) -> ExperimentResult`` with an explicit
+seed and scaled-down-but-shape-preserving default parameters; the
+``benchmarks/`` tree invokes these and prints the paper-comparable rows.
+"""
+
+from repro.experiments.harness import ExperimentResult, Testbed, TestbedConfig
+
+__all__ = ["ExperimentResult", "Testbed", "TestbedConfig"]

@@ -1,0 +1,55 @@
+"""Figure 15: cost reduction from YODA-as-a-service.
+
+An online service running its own HAProxy fleet must provision for its
+*peak* traffic (scaling in/out breaks connections), while a YODA tenant
+pays only its average usage.  The per-VIP max-to-average traffic ratio
+over the 24 h trace is therefore the per-tenant cost-saving factor; the
+paper reports 1.07x-50.3x with a 3.7x average across 100+ VIPs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.stats import mean, median
+from repro.experiments.harness import ExperimentResult
+from repro.sim.random import SeededRng
+from repro.workload.trace import ProductionTrace, TraceConfig, generate_trace
+
+
+def run(
+    seed: int = 2016,
+    trace: Optional[ProductionTrace] = None,
+    config: Optional[TraceConfig] = None,
+) -> ExperimentResult:
+    trace = trace or generate_trace(SeededRng(seed), config)
+    ratios = trace.max_to_avg_all()
+    ordered = trace.vips_by_volume()
+    result = ExperimentResult(
+        name="Figure 15: max-to-average traffic ratio per VIP "
+             "(sorted by volume, descending)"
+    )
+    for rank, vip in enumerate(ordered, start=1):
+        result.rows.append({
+            "rank": rank,
+            "vip": vip,
+            "profile": trace.profiles.get(vip, "?"),
+            "avg_traffic": round(sum(trace.traffic[vip]) / trace.intervals, 2),
+            "max_to_avg": round(ratios[vip], 2),
+        })
+    values = list(ratios.values())
+    result.summary = {
+        "num_vips": len(values),
+        "total_rules": trace.total_rules(),
+        "min_ratio": round(min(values), 2),
+        "median_ratio": round(median(values), 2),
+        "mean_ratio": round(mean(values), 2),
+        "max_ratio": round(max(values), 2),
+        "paper": "1.07x-50.3x, average 3.7x across 100+ VIPs, 50K+ rules",
+    }
+    result.notes = (
+        "mean_ratio is the paper's headline 'reduces L7 LB instance cost "
+        "by 3.7x' number: peak-provisioned (HAProxy) vs average-billed "
+        "(YODA-as-a-service)."
+    )
+    return result

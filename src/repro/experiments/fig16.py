@@ -1,0 +1,172 @@
+"""Figure 16: VIP assignment over the 24 h trace (paper Section 8.2).
+
+Every 10 minutes the controller re-solves the Figure 7 problem for the
+current traffic.  The paper compares YODA-limit (Eq. 4-7 enforced, delta =
+10% migration, relaxed +10% when infeasible) against YODA-no-limit and the
+all-to-all baseline, reporting:
+
+(b) rules per instance: many-to-many stores 0.5-3.7% (median 1%) of
+    all-to-all's rules;
+(c) instances: YODA needs 4.6-73% (avg 27%) more than all-to-all's
+    traffic-only minimum; limit vs no-limit within -8% to +11.7%;
+(d) transient overload: no-limit 0-20.4% (median 5.3%) of instances;
+    ~none avoidable under limit;
+(e) flows migrated: no-limit median 44.9%; limit median 8.3%.
+
+Setup mirrors Section 8: R_y = 2K rules (the 5 ms latency point of
+Fig. 6), delta = 10%, n_v = 4 t_v / T_y.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import mean, median
+from repro.core.assignment.all_to_all import min_instances_for_traffic
+from repro.core.assignment.constraints import transient_overloaded_instances
+from repro.core.assignment.problem import AssignmentProblem, InstanceSpec
+from repro.core.assignment.update import plan_update
+from repro.errors import InfeasibleError
+from repro.experiments.harness import ExperimentResult
+from repro.sim.random import SeededRng
+from repro.workload.trace import (
+    ProductionTrace,
+    TraceConfig,
+    generate_trace,
+    uniform_instances,
+)
+
+
+def _connections_for(assignment_mapping: Dict[str, List[str]],
+                     traffic: Dict[str, float]) -> Dict[Tuple[str, str], float]:
+    """Synthesize per-(VIP, instance) connection counts proportional to the
+    VIP's traffic split across its assigned instances."""
+    conns: Dict[Tuple[str, str], float] = {}
+    for vip, instances in assignment_mapping.items():
+        if not instances:
+            continue
+        share = traffic.get(vip, 0.0) / len(instances)
+        for inst in instances:
+            conns[(vip, inst)] = share
+    return conns
+
+
+def run(
+    seed: int = 2016,
+    trace: Optional[ProductionTrace] = None,
+    trace_config: Optional[TraceConfig] = None,
+    instance_capacity: float = 300.0,
+    rule_capacity: int = 2_000,
+    pool_size: int = 110,
+    max_replicas: int = 12,
+    interval_stride: int = 12,
+    migration_limit: float = 0.10,
+    use_lp: bool = False,
+) -> ExperimentResult:
+    """Run the re-assignment loop over the trace.
+
+    ``use_lp=False`` uses the greedy solver per round (seconds per run);
+    the LP-rounding path is exercised by dedicated benches since it costs
+    several seconds per round at 100x120 scale.
+    """
+    trace = trace or generate_trace(SeededRng(seed), trace_config)
+    instances = uniform_instances(pool_size, instance_capacity, rule_capacity)
+    total_rules = trace.total_rules()
+
+    result = ExperimentResult(name="Figure 16: assignment over the 24 h trace")
+    old_limit: Optional[Dict[str, List[str]]] = None
+    old_nolimit: Optional[Dict[str, List[str]]] = None
+
+    intervals = list(range(0, trace.intervals, interval_stride))
+    for interval in intervals:
+        specs = trace.interval_vip_specs(
+            interval, instance_capacity, max_replicas=max_replicas
+        )
+        traffic_now = trace.traffic_at(interval)
+        ata_min = min_instances_for_traffic(AssignmentProblem(
+            vips=specs, instances=instances
+        ))
+
+        # --- YODA-limit: full Eq. 4-7 ---
+        prob_limit = AssignmentProblem(
+            vips=specs, instances=instances,
+            old_assignment=old_limit,
+            old_connections=(
+                _connections_for(old_limit, traffic_now) if old_limit else None
+            ),
+            migration_limit=migration_limit if old_limit else None,
+        )
+        out_limit = plan_update(prob_limit, limit=True, use_lp=use_lp)
+
+        # --- YODA-no-limit: Eq. 1-3 only ---
+        prob_nolimit = AssignmentProblem(
+            vips=specs, instances=instances,
+            old_assignment=old_nolimit,
+            old_connections=(
+                _connections_for(old_nolimit, traffic_now) if old_nolimit else None
+            ),
+        )
+        out_nolimit = plan_update(prob_nolimit, limit=False, use_lp=use_lp)
+
+        result.rows.append({
+            "interval": interval,
+            "all_to_all_min": ata_min,
+            "limit_instances": out_limit.instances_used,
+            "nolimit_instances": out_nolimit.instances_used,
+            "limit_rules_frac_of_ata": round(
+                out_limit.median_rules_per_instance / total_rules, 4
+            ),
+            "limit_migrated_pct": round(out_limit.migrated_fraction * 100, 1),
+            "nolimit_migrated_pct": round(out_nolimit.migrated_fraction * 100, 1),
+            "limit_overloaded_pct": round(
+                100 * len(out_limit.transient_overloaded) /
+                max(out_limit.instances_used, 1), 1
+            ),
+            "nolimit_overloaded_pct": round(
+                100 * len(out_nolimit.transient_overloaded) /
+                max(out_nolimit.instances_used, 1), 1
+            ),
+            "delta_relaxations": out_limit.relaxations,
+            "solve_s": round(out_limit.solve_seconds, 3),
+        })
+        old_limit = out_limit.assignment.mapping
+        old_nolimit = out_nolimit.assignment.mapping
+
+    # skip round 0 for update metrics (no old assignment yet)
+    upd = result.rows[1:] if len(result.rows) > 1 else result.rows
+    result.summary = {
+        "rules_frac_median": round(
+            median([r["limit_rules_frac_of_ata"] for r in result.rows]), 4
+        ),
+        "extra_instances_vs_ata_avg_pct": round(mean([
+            100 * (r["limit_instances"] - r["all_to_all_min"]) / r["all_to_all_min"]
+            for r in result.rows
+        ]), 1),
+        "limit_vs_nolimit_instances_avg_pct": round(mean([
+            100 * (r["limit_instances"] - r["nolimit_instances"]) /
+            max(r["nolimit_instances"], 1) for r in result.rows
+        ]), 1),
+        "limit_migrated_median_pct": round(
+            median([r["limit_migrated_pct"] for r in upd]), 1
+        ),
+        "nolimit_migrated_median_pct": round(
+            median([r["nolimit_migrated_pct"] for r in upd]), 1
+        ),
+        "nolimit_overloaded_median_pct": round(
+            median([r["nolimit_overloaded_pct"] for r in upd]), 1
+        ),
+        "limit_overloaded_median_pct": round(
+            median([r["limit_overloaded_pct"] for r in upd]), 1
+        ),
+        "solve_s_median": round(median([r["solve_s"] for r in result.rows]), 3),
+        "paper": ("rules ~1% of all-to-all; +27% instances vs all-to-all; "
+                  "limit within -8..+11.7% of no-limit; migrated 8.3% vs "
+                  "44.9% median; no-limit overload median 5.3%"),
+    }
+    result.notes = (
+        "all_to_all_min is the paper's reference line (total traffic / "
+        "instance capacity).  Solver: greedy first-fit (LP-rounding "
+        "available via use_lp=True; the paper used CPLEX, so absolute "
+        "solve times are not comparable)."
+    )
+    return result

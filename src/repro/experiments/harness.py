@@ -1,0 +1,244 @@
+"""Shared experiment scaffolding.
+
+:class:`Testbed` builds the paper's Section 7 testbed shape in one call:
+an L4 LB, L7 LB instances (YODA or HAProxy), TCPStore VMs, backend web
+servers with the university-site corpus, and client hosts on a simulated
+campus network 30 ms (one-way) from the datacenter -- giving the same
+~130 ms no-LB baseline the paper reports.
+
+The defaults are scaled down from the 60-VM testbed so each experiment
+runs in seconds of wall-clock; every experiment documents its scaling in
+EXPERIMENTS.md and keeps the paper's *ratios* (instances : stores :
+backends, request rates relative to instance capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.report import render_table
+from repro.baselines.haproxy import HAProxyDeployment, HAProxyInstance
+from repro.core.policy import VipPolicy, weighted_split
+from repro.core.selector import ScanCostModel
+from repro.core.service import YodaService, YodaServiceConfig
+from repro.core.instance import YodaCostModel
+from repro.http.server import BackendHttpServer, ServiceTimeModel
+from repro.net.addresses import Endpoint
+from repro.net.host import Host
+from repro.net.links import FixedLatency, JitterLatency
+from repro.net.network import Network
+from repro.sim.events import EventLoop
+from repro.sim.random import SeededRng
+from repro.sim.tracing import PacketTrace
+from repro.tcp.endpoint import TcpStack
+from repro.workload.clients import ClosedLoopProcess, OpenLoopGenerator
+from repro.workload.objects import ObjectCorpus, build_flat_corpus, build_university_site
+from repro.workload.website import Website
+
+DEFAULT_VIP = "100.0.0.1"
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform experiment output: paper-comparable rows + a summary."""
+
+    name: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self, columns: Optional[List[str]] = None) -> str:
+        parts = [render_table(self.rows, columns, title=self.name)]
+        if self.summary:
+            parts.append("summary: " + ", ".join(
+                f"{k}={v}" for k, v in self.summary.items()
+            ))
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+@dataclass
+class TestbedConfig:
+    __test__ = False  # not a pytest class, despite the name
+
+    seed: int = 2016
+    lb: str = "yoda"  # "yoda" | "haproxy" | "none"
+    num_lb_instances: int = 6
+    num_store_servers: int = 3
+    num_backends: int = 6
+    num_client_hosts: int = 2
+    client_one_way_latency: float = 0.030
+    client_jitter: float = 0.004
+    corpus: str = "university"  # "university" | "flat"
+    flat_object_bytes: int = 10_000
+    flat_object_count: int = 50
+    num_pages: int = 60
+    server_service_time: float = 0.004
+    yoda_cost: YodaCostModel = field(default_factory=YodaCostModel)
+    scan_cost: ScanCostModel = field(default_factory=ScanCostModel)
+    monitor_interval: float = 0.6
+    trace_packets: bool = False
+    tls_certificate: object = None  # repro.http.tls.Certificate enables SSL
+
+
+class Testbed:
+    """A wired deployment ready for client workloads."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, config: Optional[TestbedConfig] = None):
+        self.config = config or TestbedConfig()
+        cfg = self.config
+        self.loop = EventLoop()
+        self.rng = SeededRng(cfg.seed)
+        self.network = Network(self.loop, self.rng)
+        self.network.set_symmetric_latency(
+            "internet", "dc",
+            JitterLatency(cfg.client_one_way_latency, cfg.client_jitter)
+            if cfg.client_jitter > 0 else FixedLatency(cfg.client_one_way_latency),
+        )
+        self.trace: Optional[PacketTrace] = None
+        if cfg.trace_packets:
+            self.trace = self.network.add_trace(PacketTrace())
+
+        # corpus + backends
+        if cfg.corpus == "university":
+            self.corpus: ObjectCorpus = build_university_site(
+                self.rng, num_pages=cfg.num_pages
+            )
+        else:
+            self.corpus = build_flat_corpus(
+                self.rng, cfg.flat_object_count, size=cfg.flat_object_bytes
+            )
+        self.website = Website(self.corpus, self.rng)
+        self.backends: Dict[str, BackendHttpServer] = {}
+        service_model = ServiceTimeModel(base=cfg.server_service_time)
+        for i in range(cfg.num_backends):
+            host = self.network.attach(
+                Host(f"srv-{i}", [f"10.3.0.{i + 1}"], site="dc")
+            )
+            self.backends[f"srv-{i}"] = BackendHttpServer(
+                host, self.loop, self.corpus.site, service_model=service_model,
+                tls_certificate=cfg.tls_certificate,
+            )
+
+        self.vip = DEFAULT_VIP
+        self.policy = VipPolicy(
+            vip=self.vip,
+            backends={n: Endpoint(b.ip, 80) for n, b in self.backends.items()},
+            rules=[weighted_split("even-split", "*",
+                                  {n: 1.0 for n in self.backends})],
+            certificate=cfg.tls_certificate,
+        )
+
+        # load balancer tier
+        self.yoda: Optional[YodaService] = None
+        self.haproxy: Optional[HAProxyDeployment] = None
+        self.haproxy_instances: List[HAProxyInstance] = []
+        if cfg.lb == "yoda":
+            self.yoda = YodaService(
+                self.loop, self.network, self.rng,
+                YodaServiceConfig(
+                    num_instances=cfg.num_lb_instances,
+                    num_store_servers=cfg.num_store_servers,
+                    cost_model=cfg.yoda_cost,
+                    scan_cost_model=cfg.scan_cost,
+                    monitor_interval=cfg.monitor_interval,
+                ),
+            )
+            self.yoda.add_service(self.policy, self.backends)
+            self.l4lb = self.yoda.l4lb
+        elif cfg.lb == "haproxy":
+            from repro.l4lb.service import L4LoadBalancer
+
+            self.l4lb = L4LoadBalancer(self.loop, self.network, self.rng)
+            for i in range(cfg.num_lb_instances):
+                host = self.network.attach(
+                    Host(f"haproxy-{i}", [f"10.4.0.{i + 1}"], site="dc")
+                )
+                self.haproxy_instances.append(
+                    HAProxyInstance(host, self.loop, self.rng,
+                                    scan_cost_model=cfg.scan_cost)
+                )
+            self.haproxy = HAProxyDeployment(
+                self.loop, self.l4lb, self.haproxy_instances,
+                check_interval=cfg.monitor_interval,
+            )
+            self.haproxy.add_vip(self.policy)
+        elif cfg.lb == "none":
+            self.l4lb = None
+        else:
+            raise ValueError(f"unknown lb kind {cfg.lb!r}")
+
+        # clients
+        self.client_stacks: List[TcpStack] = []
+        for i in range(cfg.num_client_hosts):
+            host = self.network.attach(
+                Host(f"client-{i}", [f"172.16.0.{i + 1}"], site="internet")
+            )
+            self.client_stacks.append(TcpStack(host, self.loop))
+
+        self.loop.run_for(1.0)  # mappings & monitor settle
+
+    # ------------------------------------------------------------- targets --
+    def target(self) -> Endpoint:
+        """Where clients send requests: the VIP, or a backend directly when
+        lb == 'none' (the paper's no-LB baseline)."""
+        if self.config.lb == "none":
+            first = next(iter(self.backends.values()))
+            return Endpoint(first.ip, 80)
+        return Endpoint(self.vip, 80)
+
+    # -------------------------------------------------------------- clients --
+    def closed_loop(self, processes: int, http_timeout: float = 30.0,
+                    retries: int = 0,
+                    max_pages: Optional[int] = None) -> List[ClosedLoopProcess]:
+        out = []
+        for i in range(processes):
+            stack = self.client_stacks[i % len(self.client_stacks)]
+            proc = ClosedLoopProcess(
+                stack, self.loop, self.target(), self.website,
+                http_timeout=http_timeout, retries=retries, max_pages=max_pages,
+            )
+            proc.start()
+            out.append(proc)
+        return out
+
+    def open_loop(self, rate: float, http_timeout: float = 30.0) -> OpenLoopGenerator:
+        gen = OpenLoopGenerator(
+            self.client_stacks[0], self.loop, self.target(), rate,
+            path_fn=self.website.random_object, http_timeout=http_timeout,
+        )
+        gen.start()
+        return gen
+
+    # --------------------------------------------------------------- faults --
+    def fail_lb_instances(self, count: int) -> List[str]:
+        """Fail ``count`` LB instances, preferring ones carrying flows that
+        are genuinely mid-transfer (the paper's interesting case), then any
+        busy ones, then idle ones."""
+        pool = (self.yoda.instances if self.yoda
+                else self.haproxy_instances)
+
+        def busyness(instance) -> int:
+            flows = getattr(instance, "flows", None)
+            if flows is not None:  # YODA instance
+                mid = sum(1 for f in flows.values()
+                          if f.phase.value in ("tunnel", "server_syn_sent",
+                                               "await_header"))
+                return 2 if mid else (1 if flows else 0)
+            conns = instance.stack.connections()  # HAProxy instance
+            return 2 if conns else 0
+
+        live = [i for i in pool if not i.host.failed]
+        live.sort(key=busyness, reverse=True)
+        victims = []
+        for instance in live[:count]:
+            instance.fail()
+            victims.append(instance.name)
+        return victims
+
+    def run(self, duration: float) -> None:
+        self.loop.run_for(duration)

@@ -1,0 +1,106 @@
+"""Table 1: impact of a proxy failure on real websites.
+
+The paper breaks one established connection per site (by emulating a
+proxy failure) and observes either a page timeout (static sites whose
+browsers wait out the full HTTP timeout -- Firefox defaults to 5 minutes)
+or a session reset (streaming/stateful services whose shorter app-level
+timeouts kill the session).
+
+We model each site archetype as a client profile (HTTP timeout, retry,
+session semantics) against the HAProxy deployment, kill the proxy
+carrying the connection mid-flow, and classify the observed outcome the
+way the paper's table does.  The same profiles run against YODA to show
+the contrast: no timeout, no reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.harness import ExperimentResult, Testbed, TestbedConfig
+from repro.http.client import BrowserClient, FetchResult
+
+FIREFOX_TIMEOUT = 300.0  # the paper's "5 min (default Mozilla Firefox)"
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """One website archetype from Table 1."""
+
+    name: str
+    kind: str  # "static-page" | "session"
+    http_timeout: float  # how long the client waits before giving up
+    object_bytes: int  # the in-flight object when the proxy dies
+
+
+SITES: List[SiteProfile] = [
+    SiteProfile("nytimes", "static-page", FIREFOX_TIMEOUT, 1_200_000),
+    SiteProfile("reddit", "static-page", FIREFOX_TIMEOUT, 1_000_000),
+    SiteProfile("stanford", "static-page", FIREFOX_TIMEOUT, 800_000),
+    SiteProfile("vimeo", "session", 10.0, 8_000_000),
+    SiteProfile("soundcloud", "session", 10.0, 5_000_000),
+    SiteProfile("email-service", "session", 15.0, 2_000_000),
+]
+
+
+def _observe(site: SiteProfile, lb: str, seed: int) -> FetchResult:
+    bed = Testbed(TestbedConfig(
+        seed=seed, lb=lb, num_lb_instances=3,
+        num_store_servers=2, num_backends=2, corpus="flat",
+        flat_object_count=1, flat_object_bytes=site.object_bytes,
+    ))
+    results: List[FetchResult] = []
+    is_session = site.kind == "session"
+    browser = BrowserClient(
+        bed.client_stacks[0], bed.loop, bed.target(),
+        # static pages wait out the browser's absolute HTTP timeout;
+        # streaming sessions die after a playback *stall* of that length
+        http_timeout=600.0 if is_session else site.http_timeout,
+        stall_timeout=site.http_timeout if is_session else None,
+        retries=0,
+    )
+    browser.fetch("/obj/0.bin", results.append)
+
+    def kill_proxy() -> None:
+        bed.fail_lb_instances(1)
+
+    bed.loop.call_later(0.25, kill_proxy)  # mid-transfer
+    bed.run(site.http_timeout + 120.0)
+    assert results, f"{site.name}: fetch never concluded"
+    return results[0]
+
+
+def classify(site: SiteProfile, result: FetchResult) -> str:
+    if result.ok:
+        extra = result.latency
+        if extra > 5.0:
+            return f"recovered (+{extra:.1f} s)"
+        return "no impact"
+    if site.kind == "static-page":
+        return f"page timed-out (~{site.http_timeout / 60:.0f} min)"
+    return "session reset"
+
+
+def run(seed: int = 2016, sites: Optional[List[SiteProfile]] = None,
+        include_yoda: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Table 1: impact of proxy failure on website archetypes"
+    )
+    for site in sites or SITES:
+        fetch_haproxy = _observe(site, "haproxy", seed)
+        row = {
+            "website": site.name,
+            "kind": site.kind,
+            "impact_with_proxy_lb": classify(site, fetch_haproxy),
+        }
+        if include_yoda:
+            fetch_yoda = _observe(site, "yoda", seed)
+            row["impact_with_yoda"] = classify(site, fetch_yoda)
+            row["yoda_latency_s"] = round(fetch_yoda.latency, 2)
+        result.rows.append(row)
+    result.summary = {
+        "paper": ("static sites: page timed-out (5 min Firefox HTTP "
+                  "timeout); streaming/session sites: session reset"),
+    }
+    return result

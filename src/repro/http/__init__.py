@@ -1,0 +1,27 @@
+"""HTTP/1.0 and HTTP/1.1 on top of the simulated TCP.
+
+Provides the request/response model and incremental parser shared by the
+backend servers, the YODA instances (which must parse the request header to
+select a server) and the HAProxy baseline; plus the two client shapes the
+paper's evaluation uses: a browser emulator (page + embedded objects, HTTP
+timeout, optional retry) and an ApacheBench-like request generator.
+"""
+
+from repro.http.client import BrowserClient, FetchResult, HttpFetcher, PageLoadResult
+from repro.http.message import HttpRequest, HttpResponse, Headers
+from repro.http.parser import HttpParser, ParsedMessage
+from repro.http.server import BackendHttpServer, StaticSite
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "Headers",
+    "HttpParser",
+    "ParsedMessage",
+    "BackendHttpServer",
+    "StaticSite",
+    "HttpFetcher",
+    "FetchResult",
+    "BrowserClient",
+    "PageLoadResult",
+]

@@ -1,0 +1,176 @@
+"""HTTP request/response objects with wire serialization."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import HttpError
+
+CRLF = b"\r\n"
+
+
+class Headers:
+    """Case-insensitive HTTP header map preserving insertion order."""
+
+    def __init__(self, items: Optional[Mapping[str, str]] = None):
+        self._items: Dict[str, Tuple[str, str]] = {}
+        if items:
+            for name, value in items.items():
+                self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        self._items[name.lower()] = (name, str(value))
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        entry = self._items.get(name.lower())
+        return entry[1] if entry else default
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._items
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def copy(self) -> "Headers":
+        out = Headers()
+        out._items = dict(self._items)
+        return out
+
+    def serialize(self) -> bytes:
+        return b"".join(
+            f"{name}: {value}".encode() + CRLF for name, value in self._items.values()
+        )
+
+    def __repr__(self) -> str:
+        return f"Headers({dict(self._items.values())!r})"
+
+
+class HttpRequest:
+    """An HTTP request.
+
+    The fields YODA's rule engine matches on (Section 5.1) are all here:
+    the URL (path), arbitrary headers, and cookies.
+    """
+
+    def __init__(
+        self,
+        method: str = "GET",
+        path: str = "/",
+        version: str = "HTTP/1.1",
+        headers: Optional[Mapping[str, str]] = None,
+        body: bytes = b"",
+        host: str = "",
+    ):
+        self.method = method.upper()
+        self.path = path
+        self.version = version
+        self.headers = headers if isinstance(headers, Headers) else Headers(headers)
+        self.body = body
+        if host and "Host" not in self.headers:
+            self.headers.set("Host", host)
+        if body and "Content-Length" not in self.headers:
+            self.headers.set("Content-Length", str(len(body)))
+
+    @property
+    def host(self) -> str:
+        return self.headers.get("Host", "")
+
+    @property
+    def url(self) -> str:
+        """host + path, the form rule matches are written against."""
+        return f"{self.host}{self.path}"
+
+    def cookie(self, name: str) -> Optional[str]:
+        """Value of a cookie from the Cookie header, or None."""
+        raw = self.headers.get("Cookie")
+        if not raw:
+            return None
+        for part in raw.split(";"):
+            key, _, value = part.strip().partition("=")
+            if key == name:
+                return value
+        return None
+
+    @property
+    def cookies(self) -> Dict[str, str]:
+        raw = self.headers.get("Cookie")
+        if not raw:
+            return {}
+        out = {}
+        for part in raw.split(";"):
+            key, _, value = part.strip().partition("=")
+            if key:
+                out[key] = value
+        return out
+
+    def serialize(self) -> bytes:
+        start = f"{self.method} {self.path} {self.version}".encode() + CRLF
+        return start + self.headers.serialize() + CRLF + self.body
+
+    def __repr__(self) -> str:
+        return f"HttpRequest({self.method} {self.url} {self.version})"
+
+
+class HttpResponse:
+    """An HTTP response; Content-Length is always set so framing is exact."""
+
+    STATUS_REASONS = {
+        200: "OK",
+        204: "No Content",
+        301: "Moved Permanently",
+        302: "Found",
+        400: "Bad Request",
+        404: "Not Found",
+        500: "Internal Server Error",
+        502: "Bad Gateway",
+        503: "Service Unavailable",
+        504: "Gateway Timeout",
+    }
+
+    def __init__(
+        self,
+        status: int = 200,
+        headers: Optional[Mapping[str, str]] = None,
+        body: bytes = b"",
+        version: str = "HTTP/1.1",
+        reason: Optional[str] = None,
+    ):
+        self.status = status
+        self.reason = reason or self.STATUS_REASONS.get(status, "Unknown")
+        self.version = version
+        self.headers = headers if isinstance(headers, Headers) else Headers(headers)
+        self.body = body
+        self.headers.set("Content-Length", str(len(body)))
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def serialize(self) -> bytes:
+        start = f"{self.version} {self.status} {self.reason}".encode() + CRLF
+        return start + self.headers.serialize() + CRLF + self.body
+
+    def __repr__(self) -> str:
+        return f"HttpResponse({self.status} {self.reason}, {len(self.body)} bytes)"
+
+
+def parse_request_line(line: bytes) -> Tuple[str, str, str]:
+    parts = line.decode("latin-1").split(" ", 2)
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(f"malformed request line {line!r}")
+    return parts[0], parts[1], parts[2]
+
+
+def parse_status_line(line: bytes) -> Tuple[str, int, str]:
+    parts = line.decode("latin-1").split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HttpError(f"malformed status line {line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise HttpError(f"bad status code in {line!r}") from exc
+    reason = parts[2] if len(parts) == 3 else ""
+    return parts[0], status, reason

@@ -1,0 +1,252 @@
+"""Backend HTTP server (the paper's Apache/2.2.3 stand-in).
+
+Serves a :class:`StaticSite` (path -> object) over the simulated TCP with a
+configurable service-time model.  Supports HTTP/1.0 (close after response),
+HTTP/1.1 keep-alive, and pipelining with strictly in-order responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.errors import HttpError
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.parser import HttpParser
+from repro.http import tls
+from repro.net.host import Host
+from repro.sim.events import EventLoop
+from repro.tcp.endpoint import ConnectionHandler, TcpConnection, TcpStack
+
+
+class StaticSite:
+    """A set of web objects: path -> bytes (or a size, synthesized lazily)."""
+
+    def __init__(self, objects: Optional[Dict[str, Union[bytes, int]]] = None):
+        self._objects: Dict[str, Union[bytes, int]] = dict(objects or {})
+
+    def add(self, path: str, content: Union[bytes, int]) -> None:
+        self._objects[path] = content
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def paths(self) -> List[str]:
+        return list(self._objects)
+
+    def get(self, path: str) -> Optional[bytes]:
+        content = self._objects.get(path)
+        if content is None:
+            return None
+        if isinstance(content, int):
+            return _synthesize(path, content)
+        return content
+
+    def size_of(self, path: str) -> Optional[int]:
+        content = self._objects.get(path)
+        if content is None:
+            return None
+        return content if isinstance(content, int) else len(content)
+
+
+def _synthesize(path: str, size: int) -> bytes:
+    """Deterministic filler content of exactly ``size`` bytes."""
+    stamp = f"<!-- {path} -->".encode()
+    if size <= len(stamp):
+        return stamp[:size]
+    filler = b"x" * (size - len(stamp))
+    return stamp + filler
+
+
+@dataclass
+class ServiceTimeModel:
+    """How long the backend takes to produce a response.
+
+    service = base + per_byte * len(body).  The paper's 133 ms no-LB
+    baseline is Internet RTT + this; experiments calibrate ``base``.
+    """
+
+    base: float = 0.004
+    per_byte: float = 0.0
+
+    def delay(self, response: HttpResponse) -> float:
+        return self.base + self.per_byte * len(response.body)
+
+
+class BackendHttpServer:
+    """One backend server VM: host + TCP stack + request handling."""
+
+    def __init__(
+        self,
+        host: Host,
+        loop: EventLoop,
+        site: StaticSite,
+        port: int = 80,
+        service_model: Optional[ServiceTimeModel] = None,
+        stack: Optional[TcpStack] = None,
+        tls_certificate: Optional["tls.Certificate"] = None,
+    ):
+        self.host = host
+        self.loop = loop
+        self.site = site
+        self.port = port
+        self.service_model = service_model or ServiceTimeModel()
+        self.stack = stack or TcpStack(host, loop)
+        self.tls_certificate = tls_certificate
+        self.stack.listen(port, self._accept)
+        self.requests_served = 0
+        self.active_requests = 0
+        self.bytes_served = 0
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def ip(self) -> str:
+        return self.host.ip
+
+    def fail(self) -> None:
+        self.host.fail()
+
+    def recover(self) -> None:
+        self.host.recover()
+
+    def _accept(self, conn: TcpConnection) -> ConnectionHandler:
+        if self.tls_certificate is not None:
+            return _TlsServerConnection(self)
+        return _ServerConnection(self)
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        """Map a request to a response.  Override for dynamic behaviour."""
+        body = self.site.get(request.path)
+        if body is None:
+            return HttpResponse(404, body=b"not found", version=request.version)
+        return HttpResponse(
+            200,
+            headers={"Server": "Apache/2.2.3 (sim)", "X-Backend": self.host.name},
+            body=body,
+            version=request.version,
+        )
+
+
+class _ServerConnection(ConnectionHandler):
+    """Per-connection state: parser + in-order pipelined response queue."""
+
+    def __init__(self, server: BackendHttpServer):
+        self.server = server
+        self.parser = HttpParser("request")
+        self._ready: Dict[int, bytes] = {}  # request id -> serialized response
+        self._next_id = 0  # id assigned to the next arriving request
+        self._next_to_send = 0  # pipelining: responses go out in arrival order
+        self._closing = False
+
+    def on_data(self, conn: TcpConnection, data: bytes) -> None:
+        try:
+            parsed = self.parser.feed(data)
+        except HttpError:
+            conn.abort("bad-request")
+            return
+        for item in parsed:
+            self._start_request(conn, item.message)
+
+    def _start_request(self, conn: TcpConnection, request: HttpRequest) -> None:
+        req_id = self._next_id
+        self._next_id += 1
+        self.server.active_requests += 1
+        response = self.server.handle_request(request)
+        keep_alive = _wants_keep_alive(request)
+        if not keep_alive:
+            response.headers.set("Connection", "close")
+        delay = self.server.service_model.delay(response)
+        self.server.loop.call_later(
+            delay, self._finish_request, conn, req_id, response, keep_alive
+        )
+
+    def _finish_request(
+        self, conn: TcpConnection, req_id: int, response: HttpResponse,
+        keep_alive: bool,
+    ) -> None:
+        self.server.active_requests -= 1
+        self.server.requests_served += 1
+        self.server.bytes_served += len(response.body)
+        self._ready[req_id] = response.serialize()
+        if not keep_alive:
+            self._closing = True
+        self._flush(conn)
+
+    @property
+    def _pending(self) -> bool:
+        return self._next_to_send < self._next_id
+
+    def _flush(self, conn: TcpConnection) -> None:
+        """Send completed responses strictly in arrival order."""
+        while self._next_to_send in self._ready:
+            data = self._ready.pop(self._next_to_send)
+            self._next_to_send += 1
+            if conn.state.can_send:
+                conn.send(data)
+        if self._closing and not self._pending and conn.state.can_send:
+            conn.close()
+
+    def on_remote_close(self, conn: TcpConnection) -> None:
+        if not self._pending:
+            conn.close()
+        else:
+            self._closing = True
+
+
+def _wants_keep_alive(request: HttpRequest) -> bool:
+    connection = (request.headers.get("Connection") or "").lower()
+    if request.version == "HTTP/1.0":
+        return connection == "keep-alive"
+    return connection != "close"
+
+
+class _TlsServerConnection(_ServerConnection):
+    """TLS-terminating connection: record layer around the HTTP handling.
+
+    The handshake response is *deterministic* given the certificate, so
+    when YODA replays a buffered client handshake to this backend, the
+    backend emits byte-identical records to those the YODA instance
+    already served the client (which YODA then suppresses).
+    """
+
+    def __init__(self, server: BackendHttpServer):
+        super().__init__(server)
+        self.codec = tls.TlsCodec()
+        self.established = False
+
+    def on_data(self, conn: TcpConnection, data: bytes) -> None:
+        try:
+            records = self.codec.feed(data)
+        except HttpError:
+            conn.abort("bad-tls-record")
+            return
+        for rtype, payload in records:
+            if rtype == tls.CLIENT_HELLO:
+                conn.send(tls.certificate_flight(self.server.tls_certificate))
+            elif rtype == tls.KEY_EXCHANGE:
+                self.established = True
+            elif rtype == tls.APP_DATA:
+                try:
+                    parsed = self.parser.feed(payload)
+                except HttpError:
+                    conn.abort("bad-request")
+                    return
+                for item in parsed:
+                    self._start_request(conn, item.message)
+            # RETRY_PING records are handshake noise: ignored
+
+    def _finish_request(self, conn: TcpConnection, req_id: int,
+                        response: HttpResponse, keep_alive: bool) -> None:
+        self.server.active_requests -= 1
+        self.server.requests_served += 1
+        self.server.bytes_served += len(response.body)
+        self._ready[req_id] = tls.app_data(response.serialize())
+        if not keep_alive:
+            self._closing = True
+        self._flush(conn)

@@ -1,0 +1,116 @@
+"""A lightweight TLS model for SSL termination (paper Section 5.2).
+
+Real TLS is out of scope; what the paper's SSL support *mechanically*
+requires is modeled exactly:
+
+- a per-VIP **certificate** several packets long, served by the YODA
+  instance during a handshake that precedes the HTTP bytes;
+- the instance must **decrypt the request header** to run rule matching;
+- on an instance failure during certificate transfer, "another YODA
+  instance resends the entire certificate (TCP buffer at the client will
+  remove duplicate packets)".
+
+The wire format is a record layer: a 6-byte header (type, u32 length)
+followed by the payload.  The server side of the handshake is
+*deterministic* given the certificate, which is what lets any YODA
+instance (or the backend, when the buffered handshake is replayed to it)
+produce byte-identical records -- the same property the hashed SYN-ACK
+ISN provides for TCP.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import HttpError
+from repro.sim.random import stable_hash64
+
+# record types
+CLIENT_HELLO = 0x01
+CERTIFICATE = 0x02
+KEY_EXCHANGE = 0x03
+APP_DATA = 0x04
+RETRY_PING = 0x05  # client nudge when a handshake stalls (triggers recovery)
+
+_HEADER = struct.Struct("!BIx")  # type, length, pad -> 6 bytes
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A synthesized certificate: deterministic bytes of realistic size."""
+
+    common_name: str
+    size: int = 3_000
+
+    @property
+    def pem(self) -> bytes:
+        head = f"-----BEGIN CERT {self.common_name}-----".encode()
+        seed = stable_hash64(self.common_name, salt="cert")
+        body = bytes((seed >> (8 * (i % 8))) & 0xFF for i in range(
+            max(0, self.size - len(head) - 20)
+        ))
+        return head + body + b"-----END CERT-----"
+
+
+def encode_record(rtype: int, payload: bytes) -> bytes:
+    return _HEADER.pack(rtype, len(payload)) + payload
+
+
+def client_hello(sni: str) -> bytes:
+    return encode_record(CLIENT_HELLO, sni.encode())
+
+
+def key_exchange(sni: str) -> bytes:
+    # deterministic "pre-master secret" so every party derives the same
+    # session key without extra round trips
+    secret = stable_hash64(f"kx:{sni}", salt="tls").to_bytes(8, "big")
+    return encode_record(KEY_EXCHANGE, secret)
+
+
+def certificate_flight(cert: Certificate) -> bytes:
+    """The server's full handshake response (the multi-packet transfer the
+    paper's failure-during-certificate case is about)."""
+    return encode_record(CERTIFICATE, cert.pem)
+
+
+def app_data(plaintext: bytes) -> bytes:
+    """'Encrypt' application bytes into a record.
+
+    The payload is kept readable -- the model's point is framing and byte
+    accounting, not cryptography -- but only parties that completed the
+    handshake treat APP_DATA records as application bytes.
+    """
+    return encode_record(APP_DATA, plaintext)
+
+
+def retry_ping() -> bytes:
+    return encode_record(RETRY_PING, b"")
+
+
+class TlsCodec:
+    """Incremental record parser: feed stream bytes, get (type, payload)."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        self._buf.extend(data)
+        out: List[Tuple[int, bytes]] = []
+        while len(self._buf) >= _HEADER.size:
+            rtype, length = _HEADER.unpack_from(self._buf)
+            if rtype not in (CLIENT_HELLO, CERTIFICATE, KEY_EXCHANGE,
+                             APP_DATA, RETRY_PING):
+                raise HttpError(f"bad TLS record type 0x{rtype:02x}")
+            total = _HEADER.size + length
+            if len(self._buf) < total:
+                break
+            payload = bytes(self._buf[_HEADER.size:total])
+            del self._buf[:total]
+            out.append((rtype, payload))
+        return out

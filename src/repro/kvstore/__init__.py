@@ -1,0 +1,25 @@
+"""Memcached substrate: scale-out key-value servers + replicating client.
+
+The paper builds TCPStore on unmodified Memcached plus a *modified client
+library* that writes each key to K servers chosen by consistent hashing and
+issues the replica operations in parallel (Section 6).  This package
+provides exactly those two halves:
+
+- :class:`~repro.kvstore.memcached.MemcachedServer` -- one store VM with an
+  LRU-bounded dict, a CPU model, and a tiny request/response protocol.
+- :class:`~repro.kvstore.client.ReplicatingKvClient` -- the client library
+  every YODA instance embeds: K-way replicated set/get/delete with
+  first-response-wins reads.
+"""
+
+from repro.kvstore.client import KvOpResult, MemcachedCluster, ReplicatingKvClient
+from repro.kvstore.hashring import HashRing
+from repro.kvstore.memcached import MemcachedServer
+
+__all__ = [
+    "MemcachedServer",
+    "MemcachedCluster",
+    "ReplicatingKvClient",
+    "KvOpResult",
+    "HashRing",
+]

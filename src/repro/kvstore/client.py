@@ -1,0 +1,214 @@
+"""The modified Memcached client library (paper Section 6).
+
+The paper keeps Memcached servers stock and adds persistence in the client:
+every key-value pair is written to K servers picked by consistent hashing,
+operations go to all replicas *in parallel*, and reads complete on the
+first hit.  This module is that library; one instance runs inside every
+YODA instance.
+
+TCPStore's latency optimizations from Section 4.3 map as follows:
+decentralized server selection = every client owns a ring copy; concurrent
+replica ops = the parallel fan-out here; long-lived TCP connections =
+modeled as direct datagram exchange (no per-op handshake).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import KvStoreError
+from repro.kvstore.hashring import HashRing
+from repro.kvstore.memcached import MEMCACHED_PORT, MemcachedServer
+from repro.net.addresses import Endpoint
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.events import EventLoop
+from repro.sim.metrics import MetricRegistry
+from repro.sim.process import Timer
+
+KV_CLIENT_PORT = 11210
+
+
+class MemcachedCluster:
+    """Shared membership view: which store servers exist and are believed
+    live.  The YODA monitor updates liveness; all clients see it at once
+    (decentralized server selection -- no lookup service on the data path).
+    """
+
+    def __init__(self, servers: Sequence[MemcachedServer]):
+        if not servers:
+            raise KvStoreError("cluster needs at least one server")
+        self.servers: Dict[str, MemcachedServer] = {s.name: s for s in servers}
+        self.ring = HashRing([s.name for s in servers])
+
+    def add(self, server: MemcachedServer) -> None:
+        self.servers[server.name] = server
+        self.ring.add(server.name)
+
+    def mark_dead(self, name: str) -> None:
+        self.ring.remove(name)
+
+    def mark_live(self, name: str) -> None:
+        if name in self.servers:
+            self.ring.add(name)
+
+    def live_count(self) -> int:
+        return len(self.ring)
+
+    def endpoint(self, name: str) -> Endpoint:
+        return self.servers[name].endpoint
+
+    def replicas_for(self, key: str, k: int) -> List[str]:
+        return self.ring.lookup_n(key, k)
+
+
+@dataclass
+class KvOpResult:
+    """Outcome of one replicated operation."""
+
+    op: str
+    key: str
+    ok: bool
+    value: Optional[bytes] = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    replicas_targeted: int = 0
+    replicas_answered: int = 0
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class _PendingOp:
+    def __init__(self, op: str, key: str, targets: List[str], started_at: float,
+                 on_done: Callable[[KvOpResult], None]):
+        self.op = op
+        self.key = key
+        self.targets = targets
+        self.on_done = on_done
+        self.result = KvOpResult(op=op, key=key, ok=False, started_at=started_at,
+                                 replicas_targeted=len(targets))
+        self.answered = 0
+        self.successes = 0
+        self.finished = False
+        self.timer: Optional[Timer] = None
+
+
+class ReplicatingKvClient:
+    """K-way replicating Memcached client embedded in an LB instance.
+
+    Args:
+        host: the VM this client runs on (shares the instance's NIC).
+        cluster: shared membership view.
+        replicas: K, the number of servers each key is stored on.
+        op_timeout: per-operation deadline; a dead server is detected by
+            silence, not errors.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        loop: EventLoop,
+        cluster: MemcachedCluster,
+        replicas: int = 2,
+        op_timeout: float = 0.1,
+    ):
+        if replicas < 1:
+            raise KvStoreError(f"replicas must be >= 1, got {replicas}")
+        self.host = host
+        self.loop = loop
+        self.cluster = cluster
+        self.replicas = replicas
+        self.op_timeout = op_timeout
+        self.metrics = MetricRegistry(f"{host.name}.kv")
+        self._req_ids = itertools.count(1)
+        self._pending: Dict[int, _PendingOp] = {}
+
+    # -- public API ---------------------------------------------------------
+    def set(self, key: str, value: bytes,
+            on_done: Optional[Callable[[KvOpResult], None]] = None) -> None:
+        self._issue("set", key, value, on_done)
+
+    def get(self, key: str,
+            on_done: Callable[[KvOpResult], None]) -> None:
+        self._issue("get", key, None, on_done)
+
+    def delete(self, key: str,
+               on_done: Optional[Callable[[KvOpResult], None]] = None) -> None:
+        self._issue("delete", key, None, on_done)
+
+    def handle_response(self, pkt: Packet) -> bool:
+        """Give the client a chance to consume an incoming packet.
+
+        Returns True when the packet was a kv response addressed to us (the
+        LB instance's packet handler calls this before its own logic).
+        """
+        resp = pkt.meta.get("kv_resp")
+        if resp is None:
+            return False
+        self._on_response(resp)
+        return True
+
+    # -- internals ------------------------------------------------------------
+    def _issue(self, op: str, key: str, value: Optional[bytes],
+               on_done: Optional[Callable[[KvOpResult], None]]) -> None:
+        targets = self.cluster.replicas_for(key, self.replicas)
+        if not targets:
+            raise KvStoreError("no live Memcached servers")
+        req_id = next(self._req_ids)
+        pending = _PendingOp(op, key, targets, self.loop.now(), on_done or (lambda r: None))
+        self._pending[req_id] = pending
+        pending.timer = Timer(self.loop, lambda: self._on_timeout(req_id))
+        pending.timer.start(self.op_timeout)
+        for name in targets:
+            endpoint = self.cluster.endpoint(name)
+            self.host.send(
+                Packet(
+                    src=Endpoint(self.host.ip, KV_CLIENT_PORT),
+                    dst=endpoint,
+                    payload=value or b"",
+                    meta={"kv": {"op": op, "key": key, "value": value,
+                                 "req_id": req_id}},
+                )
+            )
+        self.metrics.counter(f"{op}_issued").inc()
+
+    def _on_response(self, resp: Dict) -> None:
+        req_id = resp["req_id"]
+        pending = self._pending.get(req_id)
+        if pending is None or pending.finished:
+            return
+        pending.answered += 1
+        pending.result.replicas_answered = pending.answered
+        if resp["ok"]:
+            pending.successes += 1
+            if pending.op == "get" and pending.result.value is None:
+                pending.result.value = resp["value"]
+        if pending.op == "get" and resp["ok"]:
+            # first hit wins: lowest possible read latency
+            self._complete(req_id, ok=True)
+        elif pending.answered == len(pending.targets):
+            self._complete(req_id, ok=pending.successes > 0)
+
+    def _on_timeout(self, req_id: int) -> None:
+        pending = self._pending.get(req_id)
+        if pending is None or pending.finished:
+            return
+        self.metrics.counter("timeouts").inc()
+        self._complete(req_id, ok=pending.successes > 0)
+
+    def _complete(self, req_id: int, ok: bool) -> None:
+        pending = self._pending.pop(req_id)
+        pending.finished = True
+        if pending.timer is not None:
+            pending.timer.cancel()
+        pending.result.ok = ok
+        pending.result.finished_at = self.loop.now()
+        if pending.op == "get":
+            pending.result.ok = ok and pending.result.value is not None
+        self.metrics.histogram(f"{pending.op}_latency").observe(pending.result.latency)
+        self.metrics.counter(f"{pending.op}_{'ok' if pending.result.ok else 'fail'}").inc()
+        pending.on_done(pending.result)

@@ -1,0 +1,99 @@
+"""Consistent hashing ring.
+
+Used twice in the system, just as in the paper: the Memcached client
+library picks the K replica servers for a key, and the L4 mux picks the
+YODA instance for a flow.  Both require that *every* node computes the same
+answer from the same membership, so hashing is the process-independent
+:func:`~repro.sim.random.stable_hash64`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence
+
+from repro.sim.random import stable_hash64
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    >>> ring = HashRing(["a", "b", "c"])
+    >>> ring.lookup("some-key") in ("a", "b", "c")
+    True
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), vnodes: int = 100):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []
+        self._owners: Dict[int, str] = {}
+        self._nodes: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.append(node)
+        for i in range(self.vnodes):
+            point = stable_hash64(f"{node}#{i}", salt="ring")
+            # extremely unlikely collision: nudge deterministically
+            while point in self._owners:
+                point = (point + 1) % (1 << 64)
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        dead = [p for p, owner in self._owners.items() if owner == node]
+        for point in dead:
+            del self._owners[point]
+            idx = bisect.bisect_left(self._points, point)
+            del self._points[idx]
+
+    def lookup(self, key: str) -> str:
+        """The node owning ``key``."""
+        if not self._points:
+            raise KeyError("hash ring is empty")
+        h = stable_hash64(key, salt="key")
+        idx = bisect.bisect_right(self._points, h)
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[self._points[idx]]
+
+    def lookup_n(self, key: str, n: int) -> List[str]:
+        """The first ``n`` distinct nodes clockwise from the key's point.
+
+        This is how the client library picks K replica servers; removing a
+        server only remaps the keys it owned.
+        """
+        if not self._points:
+            raise KeyError("hash ring is empty")
+        n = min(n, len(self._nodes))
+        h = stable_hash64(key, salt="key")
+        idx = bisect.bisect_right(self._points, h)
+        out: List[str] = []
+        seen = set()
+        for step in range(len(self._points)):
+            point = self._points[(idx + step) % len(self._points)]
+            owner = self._owners[point]
+            if owner not in seen:
+                seen.add(owner)
+                out.append(owner)
+                if len(out) == n:
+                    break
+        return out

@@ -1,0 +1,135 @@
+"""A Memcached-like key-value server on a simulated VM.
+
+Implements the three operations the paper uses (`set`, `get`, `delete`)
+over a tiny request/response packet protocol, with an LRU-bounded store and
+a CPU model so latency under load and utilization (Figures 10 and 11) are
+emergent rather than scripted.  The server itself is *unmodified* in the
+paper's sense: replication lives entirely in the client library.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.net.addresses import Endpoint
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.cpu import CpuModel
+from repro.sim.events import EventLoop
+
+MEMCACHED_PORT = 11211
+
+# Calibrated so one server reaches ~90% CPU at 160K ops/s -- the paper's
+# "80K client req/sec at 90% CPU" with two set operations per client
+# request (storage-a and storage-b).
+DEFAULT_OP_CPU_COST = 5.6e-6
+
+
+class MemcachedServer:
+    """One Memcached VM: store + CPU + protocol handling."""
+
+    def __init__(
+        self,
+        host: Host,
+        loop: EventLoop,
+        max_items: Optional[int] = None,
+        op_cpu_cost: float = DEFAULT_OP_CPU_COST,
+        port: int = MEMCACHED_PORT,
+    ):
+        self.host = host
+        self.loop = loop
+        self.port = port
+        self.op_cpu_cost = op_cpu_cost
+        self.max_items = max_items
+        self.cpu = CpuModel(loop)
+        self._store: "OrderedDict[str, bytes]" = OrderedDict()
+        self.ops: Dict[str, int] = {"set": 0, "get": 0, "delete": 0}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        host.set_handler(self._on_packet)
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return Endpoint(self.host.ip, self.port)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def fail(self) -> None:
+        self.host.fail()
+
+    def recover(self) -> None:
+        """The VM comes back *empty* -- Memcached has no persistence; that
+        is exactly the limitation TCPStore's client-side replication works
+        around."""
+        self._store.clear()
+        self.host.recover()
+
+    # -- protocol ---------------------------------------------------------
+    def _on_packet(self, pkt: Packet) -> None:
+        req = pkt.meta.get("kv")
+        if req is None or pkt.dst.port != self.port:
+            return
+        self.cpu.execute(self.op_cpu_cost, self._serve, pkt, req)
+
+    def _serve(self, pkt: Packet, req: Dict[str, Any]) -> None:
+        if self.host.failed:
+            return
+        op = req["op"]
+        key = req["key"]
+        ok, value = True, None
+        if op == "set":
+            self._set(key, req["value"])
+        elif op == "get":
+            value = self._get(key)
+            ok = value is not None
+        elif op == "delete":
+            ok = self._store.pop(key, None) is not None
+        else:
+            ok = False
+        self.ops[op] = self.ops.get(op, 0) + 1
+        reply = Packet(
+            src=Endpoint(self.host.ip, self.port),
+            dst=pkt.src,
+            payload=value or b"",
+            meta={
+                "kv_resp": {
+                    "req_id": req["req_id"],
+                    "op": op,
+                    "key": key,
+                    "ok": ok,
+                    "value": value,
+                    "server": self.name,
+                }
+            },
+        )
+        self.host.send(reply)
+
+    # -- store ------------------------------------------------------------
+    def _set(self, key: str, value: bytes) -> None:
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = value
+        if self.max_items is not None and len(self._store) > self.max_items:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def _get(self, key: str) -> Optional[bytes]:
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    # test/debug access -----------------------------------------------------
+    def peek(self, key: str) -> Optional[bytes]:
+        """Read without counting a hit (for tests)."""
+        return self._store.get(key)

@@ -1,0 +1,22 @@
+"""Ananta-like L4 load balancer service.
+
+YODA deliberately builds *on top of* the cloud's L4 LB rather than
+replacing it (paper Section 3): the L4 LB must (1) split incoming VIP
+traffic across L7 instances, (2) re-route to the remaining instances when
+one fails, and (3) SNAT the L7 instances' outbound connections so servers
+see the VIP.  This package implements that contract with the real Ananta
+mechanics that matter to the experiments:
+
+- multiple muxes, each with its *own copy* of the VIP-to-instance mapping;
+  mapping updates propagate non-atomically (the transient the ILP's
+  Eq. 4-5 guards against);
+- per-flow affinity via a flow table, so established flows stick to their
+  instance until it is removed and flushed;
+- per-(VIP, instance) SNAT port ranges, so return traffic from backends
+  finds the right L7 instance.
+"""
+
+from repro.l4lb.mux import L4Mux
+from repro.l4lb.service import L4LoadBalancer
+
+__all__ = ["L4LoadBalancer", "L4Mux"]

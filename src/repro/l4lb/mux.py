@@ -1,0 +1,118 @@
+"""One L4 mux: hashing, flow-table affinity, forwarding.
+
+Each mux holds its own versioned copy of every VIP's instance list --
+that independence is load-bearing: the paper's Eq. 4-5 constraints exist
+precisely because "the VIP-to-YODA-instance mapping has to be changed on
+multiple L4 LB instances, which is not atomic".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.kvstore.hashring import HashRing
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.l4lb.service import L4LoadBalancer
+
+
+@dataclass
+class _FlowEntry:
+    instance_ip: str
+    last_used: float
+
+
+class _VipEntry:
+    """A mux's view of one VIP: live instances + consistent-hash ring."""
+
+    def __init__(self, vip: str, instances: List[str], version: int):
+        self.vip = vip
+        self.instances = list(instances)
+        self.version = version
+        self.ring = HashRing(instances, vnodes=50)
+
+
+class L4Mux:
+    """One software mux replica."""
+
+    FLOW_IDLE_TIMEOUT = 60.0
+
+    def __init__(self, lb: "L4LoadBalancer", mux_id: int):
+        self.lb = lb
+        self.mux_id = mux_id
+        self.name = f"mux-{mux_id}"
+        self.vips: Dict[str, _VipEntry] = {}
+        self.flow_table: Dict[str, _FlowEntry] = {}
+        self.forwarded = 0
+        self.dropped = 0
+
+    # -- control plane ------------------------------------------------------
+    def apply_mapping(self, vip: str, instances: List[str], version: int) -> None:
+        """Install a new instance list for a VIP (idempotent, versioned)."""
+        current = self.vips.get(vip)
+        if current is not None and current.version >= version:
+            return
+        self.vips[vip] = _VipEntry(vip, instances, version)
+
+    def remove_vip(self, vip: str) -> None:
+        self.vips.pop(vip, None)
+        stale = [k for k in self.flow_table if f">{vip}:" in k]
+        for k in stale:
+            del self.flow_table[k]
+
+    def flush_instance(self, instance_ip: str) -> int:
+        """Remove flow-table entries pinned to an instance.
+
+        The YODA controller calls this when it removes a failed instance
+        "from all the mappings at L4 LB" -- it is what lets retransmitted
+        packets of existing flows reach a live instance.  The HAProxy
+        deployment has no such step, so its established flows stay pinned
+        to the dead instance.
+        """
+        stale = [k for k, e in self.flow_table.items() if e.instance_ip == instance_ip]
+        for k in stale:
+            del self.flow_table[k]
+        return len(stale)
+
+    def expire_flows(self, now: float) -> int:
+        stale = [
+            k for k, e in self.flow_table.items()
+            if now - e.last_used > self.FLOW_IDLE_TIMEOUT
+        ]
+        for k in stale:
+            del self.flow_table[k]
+        return len(stale)
+
+    # -- data plane -----------------------------------------------------------
+    def process(self, pkt: Packet) -> None:
+        vip = pkt.dst.ip
+        entry = self.vips.get(vip)
+        if entry is None or not entry.instances:
+            self.dropped += 1
+            return
+        now = self.lb.loop.now()
+        flow_key = f"{pkt.src}>{pkt.dst}"
+        instance_ip: Optional[str] = None
+
+        is_new_flow = pkt.syn and not pkt.has_ack
+        if not is_new_flow:
+            cached = self.flow_table.get(flow_key)
+            if cached is not None:
+                cached.last_used = now
+                instance_ip = cached.instance_ip
+
+        if instance_ip is None:
+            # Return traffic from a backend lands on the SNAT port range
+            # of the owning instance.
+            owner = self.lb.snat.owner_of(vip, pkt.dst.port)
+            if owner is not None and owner in entry.instances:
+                instance_ip = owner
+
+        if instance_ip is None:
+            instance_ip = entry.ring.lookup(flow_key)
+
+        self.flow_table[flow_key] = _FlowEntry(instance_ip, now)
+        self.forwarded += 1
+        self.lb.forward_to_instance(instance_ip, pkt)

@@ -1,0 +1,157 @@
+"""The L4 LB service: router + muxes + mapping propagation.
+
+The router owns every VIP in the network fabric and ECMP-spreads flows
+across the muxes (hash of the 5-tuple, as routers do).  Mapping updates
+from the controller are applied to each mux after an independent
+propagation delay -- the non-atomicity at the heart of the paper's
+transient-overload constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.l4lb.mux import L4Mux
+from repro.l4lb.snat import SnatAllocator
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.events import EventLoop
+from repro.sim.process import PeriodicTask
+from repro.sim.random import SeededRng, stable_hash32
+
+
+class L4LoadBalancer:
+    """Ananta-like L4 LB-as-a-service.
+
+    Args:
+        num_muxes: software mux replicas; each holds its own mapping copy.
+        mapping_propagation: max delay (seconds) for an update to reach any
+            single mux; each mux draws uniformly in [0, this].
+        router_ip: address of the internal router host.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: Network,
+        rng: SeededRng,
+        num_muxes: int = 4,
+        mapping_propagation: float = 0.2,
+        router_ip: str = "10.255.0.1",
+    ):
+        if num_muxes < 1:
+            raise NetworkError("need at least one mux")
+        self.loop = loop
+        self.network = network
+        self.rng = rng.fork("l4lb")
+        self.mapping_propagation = mapping_propagation
+        self.router = network.attach(Host("l4-router", [router_ip], site="dc"))
+        self.router.set_handler(self._on_packet)
+        self.muxes: List[L4Mux] = [L4Mux(self, i) for i in range(num_muxes)]
+        self.snat = SnatAllocator()
+        self._versions: Dict[str, int] = {}
+        self._authoritative: Dict[str, List[str]] = {}
+        self._gc = PeriodicTask(loop, 30.0, self._expire_flows)
+        self._gc.start()
+
+    # -- control plane API (used by the YODA controller) ----------------------
+    def register_vip(self, vip: str) -> None:
+        """Make the fabric route a VIP's traffic to this service."""
+        self.network.claim_ip(self.router, vip)
+        self._versions.setdefault(vip, 0)
+        self._authoritative.setdefault(vip, [])
+
+    def unregister_vip(self, vip: str) -> None:
+        self._versions.pop(vip, None)
+        self._authoritative.pop(vip, None)
+        for mux in self.muxes:
+            mux.remove_vip(vip)
+
+    def vips(self) -> List[str]:
+        return list(self._authoritative)
+
+    def mapping(self, vip: str) -> List[str]:
+        """Authoritative (controller-side) instance list for a VIP."""
+        return list(self._authoritative.get(vip, []))
+
+    def update_mapping(
+        self,
+        vip: str,
+        instance_ips: List[str],
+        flush_removed: bool = True,
+        immediate: bool = False,
+    ) -> None:
+        """Install a new VIP -> instances mapping.
+
+        Args:
+            instance_ips: L7 LB instances that should receive this VIP.
+            flush_removed: also flush flow-table entries pinned to
+                instances that left the mapping (YODA does this; a plain
+                health-checked HAProxy deployment does not, which is why
+                its established flows break silently).
+            immediate: apply to all muxes now (test convenience) instead
+                of with per-mux propagation delays.
+        """
+        if vip not in self._versions:
+            raise NetworkError(f"VIP {vip} is not registered")
+        previous = set(self._authoritative.get(vip, []))
+        removed = previous - set(instance_ips)
+        self._authoritative[vip] = list(instance_ips)
+        self._versions[vip] += 1
+        version = self._versions[vip]
+        for ip in instance_ips:
+            self.snat.ensure_range(vip, ip)
+        for mux in self.muxes:
+            delay = 0.0 if immediate else self.rng.uniform(0.0, self.mapping_propagation)
+            self.loop.call_later(
+                delay, self._apply_to_mux, mux, vip, list(instance_ips), version,
+                sorted(removed) if flush_removed else [],
+            )
+
+    def _apply_to_mux(
+        self, mux: L4Mux, vip: str, instances: List[str], version: int,
+        flush: List[str],
+    ) -> None:
+        if vip not in self._versions:
+            return  # VIP was unregistered while this update was in flight
+        mux.apply_mapping(vip, instances, version)
+        for instance_ip in flush:
+            mux.flush_instance(instance_ip)
+
+    def snat_range(self, vip: str, instance_ip: str):
+        """The (lo, hi) SNAT port block an instance may use for a VIP."""
+        return self.snat.ensure_range(vip, instance_ip)
+
+    # -- data plane -------------------------------------------------------------
+    def _on_packet(self, pkt: Packet) -> None:
+        """Router: ECMP-spread the flow across muxes."""
+        idx = stable_hash32(f"{pkt.src}>{pkt.dst}", salt="ecmp") % len(self.muxes)
+        self.muxes[idx].process(pkt)
+
+    def forward_to_instance(self, instance_ip: str, pkt: Packet) -> None:
+        """IP-in-IP encapsulation equivalent: deliver the untouched packet
+        (dst still the VIP) to the chosen L7 instance's host."""
+        host = self.network.host_for_ip(instance_ip)
+        if host is None:
+            return
+        # one intra-DC hop mux -> instance
+        self.loop.call_later(0.00025, host.deliver, pkt)
+
+    def _expire_flows(self) -> None:
+        now = self.loop.now()
+        for mux in self.muxes:
+            mux.expire_flows(now)
+
+    # -- introspection ------------------------------------------------------------
+    def total_forwarded(self) -> int:
+        return sum(m.forwarded for m in self.muxes)
+
+    def mux_versions(self, vip: str) -> List[Optional[int]]:
+        """Per-mux mapping version for a VIP (None = not yet installed)."""
+        out = []
+        for mux in self.muxes:
+            entry = mux.vips.get(vip)
+            out.append(entry.version if entry else None)
+        return out

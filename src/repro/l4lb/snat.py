@@ -1,0 +1,66 @@
+"""SNAT port-range management.
+
+An L7 instance connecting out to a backend uses the VIP as its source
+address; the backend's replies therefore arrive at the L4 LB, which must
+know which L7 instance owns that (VIP, port).  Ananta solves this by
+pre-allocating disjoint SNAT port ranges per (VIP, instance); this module
+does the same.  Ranges are sticky: an instance keeps its range across
+mapping updates so in-flight server connections keep resolving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+
+SNAT_BASE_PORT = 1024
+SNAT_RANGE_SIZE = 3000
+SNAT_MAX_PORT = 65000
+
+
+class SnatAllocator:
+    """Per-VIP SNAT port ranges, one disjoint block per L7 instance."""
+
+    def __init__(self, base: int = SNAT_BASE_PORT, range_size: int = SNAT_RANGE_SIZE):
+        self.base = base
+        self.range_size = range_size
+        # vip -> instance_ip -> (lo, hi) inclusive-exclusive
+        self._ranges: Dict[str, Dict[str, Tuple[int, int]]] = {}
+
+    def ensure_range(self, vip: str, instance_ip: str) -> Tuple[int, int]:
+        """Get (allocating if needed) the port range for an instance."""
+        per_vip = self._ranges.setdefault(vip, {})
+        if instance_ip in per_vip:
+            return per_vip[instance_ip]
+        used_los: Set[int] = {lo for lo, _ in per_vip.values()}
+        lo = self.base
+        while lo in used_los:
+            lo += self.range_size
+        hi = lo + self.range_size
+        if hi > SNAT_MAX_PORT:
+            raise NetworkError(f"SNAT port space exhausted for VIP {vip}")
+        per_vip[instance_ip] = (lo, hi)
+        return (lo, hi)
+
+    def owner_of(self, vip: str, port: int) -> Optional[str]:
+        """Which instance owns this SNAT port for this VIP, if any."""
+        per_vip = self._ranges.get(vip)
+        if not per_vip:
+            return None
+        for instance_ip, (lo, hi) in per_vip.items():
+            if lo <= port < hi:
+                return instance_ip
+        return None
+
+    def range_of(self, vip: str, instance_ip: str) -> Optional[Tuple[int, int]]:
+        per_vip = self._ranges.get(vip)
+        if not per_vip:
+            return None
+        return per_vip.get(instance_ip)
+
+    def release(self, vip: str, instance_ip: str) -> None:
+        """Drop an instance's range (only safe once its flows are gone)."""
+        per_vip = self._ranges.get(vip)
+        if per_vip:
+            per_vip.pop(instance_ip, None)

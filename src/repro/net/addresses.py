@@ -1,0 +1,119 @@
+"""IP endpoints and address allocation.
+
+Addresses are plain dotted-quad strings; :class:`Endpoint` pairs an address
+with a port and is hashable so it can key flow tables.  :class:`FourTuple`
+identifies a TCP connection; together with the protocol (always TCP here) it
+is the paper's "IP 5-tuple".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import AddressError
+
+_IP_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+def validate_ip(ip: str) -> str:
+    """Return ``ip`` if it is a well-formed dotted quad, else raise."""
+    m = _IP_RE.match(ip)
+    if not m or any(int(octet) > 255 for octet in m.groups()):
+        raise AddressError(f"invalid IPv4 address {ip!r}")
+    return ip
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """An (ip, port) pair."""
+
+    ip: str
+    port: int
+
+    def __post_init__(self) -> None:
+        validate_ip(self.ip)
+        if not 0 <= self.port <= 65535:
+            raise AddressError(f"invalid port {self.port}")
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Endpoint":
+        """Parse "ip:port"."""
+        ip, sep, port = text.partition(":")
+        if not sep:
+            raise AddressError(f"expected 'ip:port', got {text!r}")
+        try:
+            return cls(ip, int(port))
+        except ValueError as exc:
+            raise AddressError(f"invalid port in {text!r}") from exc
+
+
+@dataclass(frozen=True, order=True)
+class FourTuple:
+    """A TCP connection identifier: (src ip, src port, dst ip, dst port).
+
+    The canonical orientation is client -> service: ``src`` is the
+    connection initiator.  :meth:`reversed` flips it for return traffic.
+    """
+
+    src: Endpoint
+    dst: Endpoint
+
+    def reversed(self) -> "FourTuple":
+        return FourTuple(self.dst, self.src)
+
+    def key(self) -> str:
+        """A stable string key, suitable for hashing / TCPStore keys."""
+        return f"{self.src}-{self.dst}"
+
+    def __str__(self) -> str:
+        return self.key()
+
+
+class IpAllocator:
+    """Hands out unique addresses from a /16-style prefix.
+
+    >>> alloc = IpAllocator("10.1")
+    >>> alloc.next()
+    '10.1.0.1'
+    >>> alloc.next()
+    '10.1.0.2'
+    """
+
+    def __init__(self, prefix: str):
+        parts = prefix.split(".")
+        if len(parts) != 2 or not all(p.isdigit() and int(p) <= 255 for p in parts):
+            raise AddressError(f"prefix must look like 'a.b', got {prefix!r}")
+        self.prefix = prefix
+        self._counter = 0
+
+    def next(self) -> str:
+        self._counter += 1
+        if self._counter > 255 * 254:
+            raise AddressError(f"address space {self.prefix}.0.0/16 exhausted")
+        hi, lo = divmod(self._counter - 1, 254)
+        return f"{self.prefix}.{hi}.{lo + 1}"
+
+    def take(self, n: int) -> Iterator[str]:
+        for _ in range(n):
+            yield self.next()
+
+
+class EphemeralPorts:
+    """Allocates client-side ephemeral ports, wrapping within 32768-60999."""
+
+    LOW, HIGH = 32768, 60999
+
+    def __init__(self) -> None:
+        self._next = self.LOW
+
+    def next(self) -> int:
+        port = self._next
+        self._next += 1
+        if self._next > self.HIGH:
+            self._next = self.LOW
+        return port

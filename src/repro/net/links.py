@@ -1,0 +1,99 @@
+"""One-way latency models for network paths.
+
+The testbed in the paper has two very different path classes: intra-DC hops
+(sub-millisecond) and the campus-client-to-Azure Internet path (tens of
+milliseconds, giving the 133 ms no-LB baseline of Figure 9).  A
+:class:`LatencyModel` computes the one-way delay for a packet; the
+:class:`~repro.net.network.Network` keeps one per site pair.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.sim.random import SeededRng
+
+
+class LatencyModel(abc.ABC):
+    """Computes the one-way delay, in seconds, for a packet on a path."""
+
+    @abc.abstractmethod
+    def delay(self, packet: Packet, rng: SeededRng) -> float:
+        """One-way latency for ``packet``; must be >= 0."""
+
+
+class FixedLatency(LatencyModel):
+    """Constant one-way delay; the deterministic default for tests."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self.seconds = seconds
+
+    def delay(self, packet: Packet, rng: SeededRng) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.seconds})"
+
+
+class JitterLatency(LatencyModel):
+    """Base delay plus uniform jitter in [0, jitter]."""
+
+    def __init__(self, base: float, jitter: float):
+        if base < 0 or jitter < 0:
+            raise ValueError("base and jitter must be >= 0")
+        self.base = base
+        self.jitter = jitter
+
+    def delay(self, packet: Packet, rng: SeededRng) -> float:
+        return self.base + rng.uniform(0.0, self.jitter)
+
+    def __repr__(self) -> str:
+        return f"JitterLatency(base={self.base}, jitter={self.jitter})"
+
+
+class LognormalLatency(LatencyModel):
+    """Heavy-ish tailed delay: base + lognormal(mu, sigma).
+
+    Suitable for the Internet leg between clients and the datacenter.
+    """
+
+    def __init__(self, base: float, mu: float, sigma: float, cap: Optional[float] = None):
+        if base < 0:
+            raise ValueError("base must be >= 0")
+        self.base = base
+        self.mu = mu
+        self.sigma = sigma
+        self.cap = cap
+
+    def delay(self, packet: Packet, rng: SeededRng) -> float:
+        extra = rng.lognormal(self.mu, self.sigma)
+        if self.cap is not None:
+            extra = min(extra, self.cap)
+        return self.base + extra
+
+    def __repr__(self) -> str:
+        return f"LognormalLatency(base={self.base}, mu={self.mu}, sigma={self.sigma})"
+
+
+class BandwidthLatency(LatencyModel):
+    """Propagation delay plus serialization at a link rate.
+
+    delay = base + wire_len / bytes_per_second.  Used where per-byte cost
+    matters (e.g. stressing large-object transfers).
+    """
+
+    def __init__(self, base: float, bytes_per_second: float):
+        if base < 0 or bytes_per_second <= 0:
+            raise ValueError("base >= 0 and bytes_per_second > 0 required")
+        self.base = base
+        self.bytes_per_second = bytes_per_second
+
+    def delay(self, packet: Packet, rng: SeededRng) -> float:
+        return self.base + packet.wire_len / self.bytes_per_second
+
+    def __repr__(self) -> str:
+        return f"BandwidthLatency(base={self.base}, rate={self.bytes_per_second})"

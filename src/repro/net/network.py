@@ -1,0 +1,175 @@
+"""The network fabric: routes packets between hosts.
+
+Delivery is point-to-point by destination IP with a per-site-pair latency
+model, optional loss, and tap points for tcpdump-style tracing.  Address
+ownership can change at runtime (``claim_ip``), which is how a VIP is owned
+by the L4 LB service rather than any single VM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.host import Host
+from repro.net.links import FixedLatency, LatencyModel
+from repro.net.packet import Packet, flags_to_str
+from repro.sim.events import EventLoop
+from repro.sim.metrics import MetricRegistry
+from repro.sim.random import SeededRng
+from repro.sim.tracing import PacketTrace, TraceRecord
+
+DEFAULT_INTRA_DC_LATENCY = 0.00025  # 250 us one-way within the datacenter
+
+
+class Network:
+    """Connects hosts and delivers packets with latency and loss.
+
+    Args:
+        loop: the simulation event loop.
+        rng: randomness source (forked internally for jitter and loss).
+        default_latency: model used when no (src site, dst site) entry is set.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: SeededRng,
+        default_latency: Optional[LatencyModel] = None,
+    ):
+        self.loop = loop
+        self.rng = rng.fork("network")
+        self.metrics = MetricRegistry("network")
+        self._hosts: Dict[str, Host] = {}  # name -> host
+        self._routes: Dict[str, Host] = {}  # ip -> host
+        self._latency: Dict[Tuple[str, str], LatencyModel] = {}
+        self._default_latency = default_latency or FixedLatency(DEFAULT_INTRA_DC_LATENCY)
+        self._loss_rate = 0.0
+        self._traces: List[PacketTrace] = []
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+
+    # -- topology ------------------------------------------------------------
+    def attach(self, host: Host) -> Host:
+        """Attach a host; all of its IPs become routable."""
+        if host.name in self._hosts:
+            raise NetworkError(f"duplicate host name {host.name!r}")
+        for ip in host.ips:
+            if ip in self._routes:
+                raise NetworkError(
+                    f"IP {ip} already owned by {self._routes[ip].name!r}"
+                )
+        self._hosts[host.name] = host
+        for ip in host.ips:
+            self._routes[ip] = host
+        host.network = self
+        return host
+
+    def detach(self, host: Host) -> None:
+        """Remove a host and its routes (e.g. a VM being deallocated)."""
+        self._hosts.pop(host.name, None)
+        for ip in list(host.ips):
+            if self._routes.get(ip) is host:
+                del self._routes[ip]
+        host.network = None
+
+    def claim_ip(self, host: Host, ip: str) -> None:
+        """Point ``ip`` at ``host``, overriding any previous owner.
+
+        This is the simulation's equivalent of the cloud fabric routing a
+        VIP to the L4 LB service.
+        """
+        if host.name not in self._hosts:
+            raise NetworkError(f"host {host.name!r} is not attached")
+        previous = self._routes.get(ip)
+        if previous is not None and previous is not host and ip in previous.ips:
+            previous.ips.remove(ip)
+        self._routes[ip] = host
+        if ip not in host.ips:
+            host.ips.append(ip)
+
+    def host_for_ip(self, ip: str) -> Optional[Host]:
+        return self._routes.get(ip)
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host {name!r}") from None
+
+    def hosts(self) -> Iterable[Host]:
+        return self._hosts.values()
+
+    # -- path properties ------------------------------------------------------
+    def set_latency(self, src_site: str, dst_site: str, model: LatencyModel) -> None:
+        """Set the one-way latency model for packets src_site -> dst_site."""
+        self._latency[(src_site, dst_site)] = model
+
+    def set_symmetric_latency(self, site_a: str, site_b: str, model: LatencyModel) -> None:
+        self.set_latency(site_a, site_b, model)
+        self.set_latency(site_b, site_a, model)
+
+    def set_loss_rate(self, rate: float) -> None:
+        """Independent per-packet drop probability in [0, 1)."""
+        if not 0.0 <= rate < 1.0:
+            raise NetworkError(f"loss rate must be in [0, 1), got {rate}")
+        self._loss_rate = rate
+
+    def add_trace(self, trace: PacketTrace) -> PacketTrace:
+        """Record every transmission (and drop) into ``trace``."""
+        self._traces.append(trace)
+        return trace
+
+    # -- data plane -----------------------------------------------------------
+    def transmit(self, src_host: Host, packet: Packet) -> None:
+        """Route ``packet`` toward its destination IP."""
+        self.metrics.counter("tx_packets").inc()
+        dst_host = self._routes.get(packet.dst.ip)
+        if dst_host is None:
+            self.metrics.counter("no_route").inc()
+            self._record(packet, point="wire", direction="tx", dropped=True)
+            return
+        if self._loss_rate and self.rng.random() < self._loss_rate:
+            self.metrics.counter("lost_packets").inc()
+            self._record(packet, point="wire", direction="tx", dropped=True)
+            return
+        model = self._latency.get((src_host.site, dst_host.site), self._default_latency)
+        delay = model.delay(packet, self.rng)
+        self._record(packet, point="wire", direction="tx", dropped=False)
+        # FIFO per path: jittered latency must not reorder packets between
+        # the same pair of hosts (a single route does not reorder), or TCP
+        # would see phantom loss and collapse its window.
+        deliver_at = self.loop.now() + delay
+        path = (src_host.name, dst_host.name)
+        last = self._last_delivery.get(path, 0.0)
+        if deliver_at < last:
+            deliver_at = last
+        self._last_delivery[path] = deliver_at
+        self.loop.call_at(deliver_at, self._deliver, dst_host, packet)
+
+    def _deliver(self, dst_host: Host, packet: Packet) -> None:
+        # Re-check routing at delivery time: ownership may have moved while
+        # the packet was in flight.
+        current = self._routes.get(packet.dst.ip)
+        target = current if current is not None else dst_host
+        dropped = target.failed
+        self._record(packet, point=target.name, direction="rx", dropped=dropped)
+        target.deliver(packet)
+
+    def _record(self, packet: Packet, point: str, direction: str, dropped: bool) -> None:
+        if not self._traces:
+            return
+        rec = TraceRecord(
+            time=self.loop.now(),
+            point=point,
+            direction=direction,
+            summary=packet.summary(),
+            src=str(packet.src),
+            dst=str(packet.dst),
+            flags=flags_to_str(packet.flags),
+            seq=packet.seq,
+            ack=packet.ack,
+            payload_len=packet.payload_len,
+            dropped=dropped,
+        )
+        for trace in self._traces:
+            trace.record(rec)

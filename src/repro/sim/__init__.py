@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the substrate every other subsystem runs on:
+
+- :class:`~repro.sim.events.EventLoop` -- a heapq-based scheduler with
+  deterministic tie-breaking (FIFO among same-time events).
+- :class:`~repro.sim.events.Event` -- a cancellable scheduled callback.
+- :class:`~repro.sim.random.SeededRng` -- the single source of randomness.
+- :mod:`~repro.sim.metrics` -- counters, gauges and histograms with
+  percentile queries, used by every experiment.
+- :mod:`~repro.sim.tracing` -- a tcpdump-like packet trace recorder used to
+  reproduce Figure 12(b).
+"""
+
+from repro.sim.events import Event, EventLoop
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricRegistry, TimeSeries
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.random import SeededRng
+from repro.sim.tracing import PacketTrace, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "TimeSeries",
+    "PeriodicTask",
+    "Timer",
+    "SeededRng",
+    "PacketTrace",
+    "TraceRecord",
+]

@@ -1,0 +1,158 @@
+"""Discrete-event loop.
+
+The loop is the heart of the simulator: every packet delivery, TCP timer,
+health-check ping and controller action is an :class:`Event` scheduled on a
+single :class:`EventLoop`.  Determinism matters -- the paper's failure
+recovery behaviour depends on exact orderings (e.g. a retransmission racing
+a mapping update) -- so ties at the same simulated time are broken by
+insertion order, never by hash order or object identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`EventLoop.call_at` /
+    :meth:`EventLoop.call_later`; user code only ever needs
+    :meth:`cancel` and the :attr:`cancelled` / :attr:`fired` flags.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling a fired event is a no-op."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not (self.cancelled or self.fired)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time:.6f}, fn={getattr(self.fn, '__name__', self.fn)!r}, {state})"
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    >>> loop = EventLoop()
+    >>> order = []
+    >>> _ = loop.call_later(1.0, order.append, "b")
+    >>> _ = loop.call_later(0.5, order.append, "a")
+    >>> loop.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._stopped = False
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.6f}, which is before now={self._now:.6f}"
+            )
+        event = Event(float(time), next(self._counter), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time (after already-queued
+        same-time events)."""
+        return self.call_at(self._now, fn, *args)
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the currently executing event returns."""
+        self._stopped = True
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events in order.
+
+        Args:
+            until: if given, stop once the next event would be strictly after
+                this time, and advance the clock to ``until``.
+            max_events: safety valve; raise if more events than this fire.
+
+        Returns:
+            The number of events that fired.
+        """
+        if self._running:
+            raise SimulationError("EventLoop.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while not self._stopped:
+                self._drop_cancelled()
+                if not self._heap:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.fired = True
+                event.fn(*event.args)
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted: {fired} events fired "
+                        f"(possible scheduling loop)"
+                    )
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return fired
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Run for ``duration`` simulated seconds from the current time."""
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def pending_count(self) -> int:
+        """Number of pending (non-cancelled) events in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,233 @@
+"""Metrics primitives used by every subsystem and experiment.
+
+The experiments in the paper report medians, P90s, CDFs, utilizations and
+time series; these classes collect exactly those without pulling in heavy
+dependencies on hot paths.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("Counter can only increase; use Gauge for ups and downs")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. live connections)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "", initial: float = 0.0):
+        self.name = name
+        self.value = initial
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Stores raw samples; supports exact percentiles and CDFs.
+
+    Exact (not sketched) because experiment sample counts here are modest
+    (10^4-10^6) and the paper reports exact medians/P90s.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile with linear interpolation; ``p`` in [0, 100]."""
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} out of range [0, 100]")
+        self._ensure_sorted()
+        if len(self._samples) == 1:
+            return self._samples[0]
+        rank = (p / 100.0) * (len(self._samples) - 1)
+        lo = int(math.floor(rank))
+        hi = min(lo + 1, len(self._samples) - 1)
+        frac = rank - lo
+        return self._samples[lo] * (1 - frac) + self._samples[hi] * frac
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def p90(self) -> float:
+        return self.percentile(90.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return math.fsum(self._samples) / len(self._samples)
+
+    def min(self) -> float:
+        self._ensure_sorted()
+        return self._samples[0]
+
+    def max(self) -> float:
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def cdf(self, points: Optional[int] = None) -> List[Tuple[float, float]]:
+        """Return (value, cumulative_fraction) pairs.
+
+        Args:
+            points: if given, downsample to roughly this many points
+                (always keeping the first and last sample).
+        """
+        self._ensure_sorted()
+        n = len(self._samples)
+        if n == 0:
+            return []
+        step = max(1, n // points) if points else 1
+        out = [
+            (self._samples[i], (i + 1) / n)
+            for i in range(0, n, step)
+        ]
+        if out[-1][0] != self._samples[-1]:
+            out.append((self._samples[-1], 1.0))
+        return out
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly greater than ``threshold``."""
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        idx = bisect.bisect_right(self._samples, threshold)
+        return (len(self._samples) - idx) / len(self._samples)
+
+    def samples(self) -> List[float]:
+        """A sorted copy of the raw samples."""
+        self._ensure_sorted()
+        return list(self._samples)
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. per-instance CPU utilization over time."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("TimeSeries samples must be recorded in time order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def items(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    def value_at(self, time: float) -> float:
+        """Value of the most recent sample at or before ``time``."""
+        if not self.times:
+            raise ValueError(f"time series {self.name!r} is empty")
+        idx = bisect.bisect_right(self.times, time) - 1
+        if idx < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self.values[idx]
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with start <= time < end."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self.times, self.values):
+            if start <= t < end:
+                out.record(t, v)
+        return out
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return math.fsum(self.values) / len(self.values)
+
+    def max(self) -> float:
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return max(self.values)
+
+
+@dataclass
+class MetricRegistry:
+    """A namespace of metrics, one per component instance."""
+
+    name: str = ""
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(f"{self.name}.{name}")
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(f"{self.name}.{name}")
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(f"{self.name}.{name}")
+        return self.histograms[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(f"{self.name}.{name}")
+        return self.series[name]

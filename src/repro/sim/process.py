@@ -1,0 +1,84 @@
+"""Timer helpers built on the event loop.
+
+:class:`Timer` is a restartable one-shot timer (the shape TCP retransmission
+needs); :class:`PeriodicTask` repeats at a fixed interval (the shape the
+YODA monitor's 600 ms health ping needs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventLoop
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` (re)arms the timer; ``cancel`` disarms it.  The callback is
+    invoked with no arguments when the timer expires.
+    """
+
+    def __init__(self, loop: EventLoop, callback: Callable[[], Any]):
+        self._loop = loop
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and self._event.pending
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._loop.call_later(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Calls ``callback()`` every ``interval`` seconds until stopped.
+
+    The first call happens ``interval`` seconds after :meth:`start` (or
+    immediately when ``fire_now=True``).
+    """
+
+    def __init__(self, loop: EventLoop, interval: float, callback: Callable[[], Any]):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._loop = loop
+        self.interval = interval
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, fire_now: bool = False) -> None:
+        if self._running:
+            return
+        self._running = True
+        delay = 0.0 if fire_now else self.interval
+        self._event = self._loop.call_later(delay, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._event = self._loop.call_later(self.interval, self._tick)

@@ -1,0 +1,111 @@
+"""tcpdump-like packet tracing.
+
+Figure 12(b) of the paper is a tcpdump captured at a backend server during a
+YODA instance failure.  :class:`PacketTrace` reproduces that: any host (or
+the network fabric itself) can attach one and every packet it sees is
+recorded with its simulated timestamp and a structured summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured packet."""
+
+    time: float
+    point: str  # capture point, e.g. "server-3" or "wire"
+    direction: str  # "rx" or "tx"
+    summary: str  # human-readable one-liner, tcpdump style
+    src: str
+    dst: str
+    flags: str
+    seq: int
+    ack: int
+    payload_len: int
+    dropped: bool = False
+
+    def __str__(self) -> str:
+        drop = " DROPPED" if self.dropped else ""
+        return (
+            f"{self.time:10.6f} {self.point} {self.direction} "
+            f"{self.src} > {self.dst}: {self.flags} seq={self.seq} "
+            f"ack={self.ack} len={self.payload_len}{drop}"
+        )
+
+
+class PacketTrace:
+    """Accumulates :class:`TraceRecord` entries, with simple filtering."""
+
+    def __init__(self, name: str = "trace"):
+        self.name = name
+        self.records: List[TraceRecord] = []
+        self.enabled = True
+
+    def record(self, rec: TraceRecord) -> None:
+        if self.enabled:
+            self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def filter(
+        self,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        *,
+        point: Optional[str] = None,
+        direction: Optional[str] = None,
+        flow_between: Optional[tuple] = None,
+    ) -> List[TraceRecord]:
+        """Select records.
+
+        Args:
+            predicate: arbitrary filter applied last.
+            point: only records captured at this point.
+            direction: "rx" or "tx".
+            flow_between: (addr_a, addr_b) strings -- keep packets whose
+                src/dst endpoints are exactly this unordered pair (prefix
+                match, so "10.0.0.1" matches "10.0.0.1:80").
+        """
+        out: Iterable[TraceRecord] = self.records
+        if point is not None:
+            out = (r for r in out if r.point == point)
+        if direction is not None:
+            out = (r for r in out if r.direction == direction)
+        if flow_between is not None:
+            a, b = flow_between
+
+            def _matches(r: TraceRecord) -> bool:
+                fwd = r.src.startswith(a) and r.dst.startswith(b)
+                rev = r.src.startswith(b) and r.dst.startswith(a)
+                return fwd or rev
+
+            out = (r for r in out if _matches(r))
+        result = list(out)
+        if predicate is not None:
+            result = [r for r in result if predicate(r)]
+        return result
+
+    def dump(self) -> str:
+        """The whole trace as tcpdump-style text."""
+        return "\n".join(str(r) for r in self.records)
+
+    def retransmissions(self) -> List[TraceRecord]:
+        """Records whose (src, dst, seq, payload_len) was already seen --
+        i.e. retransmitted data segments."""
+        seen = set()
+        out = []
+        for r in self.records:
+            if r.payload_len == 0 and "S" not in r.flags:
+                continue
+            key = (r.src, r.dst, r.seq, r.payload_len, r.flags)
+            if key in seen:
+                out.append(r)
+            seen.add(key)
+        return out

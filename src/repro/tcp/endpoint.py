@@ -1,0 +1,530 @@
+"""TCP endpoints: a per-host stack and per-connection state machines.
+
+Clients and backend servers run real TCP through these classes.  The state
+machine covers everything the paper's experiments exercise:
+
+- three-way handshake with retransmitted SYN / SYN-ACK (3 s initial RTO,
+  matching the Ubuntu behaviour the paper cites in Section 4.2);
+- MSS segmentation, cumulative ACKs, out-of-order reassembly;
+- slow start / congestion avoidance, fast retransmit, and RTO with
+  exponential backoff starting at 300 ms (the retransmissions visible in
+  Figure 12(b));
+- FIN teardown, TIME_WAIT, RST on unknown flows (what a live HAProxy
+  instance does when a failed peer's flow is rerouted to it).
+
+Applications implement :class:`ConnectionHandler` and drive
+:class:`TcpConnection.send` / :meth:`TcpConnection.close`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import TcpError
+from repro.net.addresses import Endpoint, EphemeralPorts
+from repro.net.host import Host
+from repro.net.packet import ACK, FIN, PSH, RST, SYN, Packet
+from repro.sim.events import EventLoop
+from repro.sim.process import Timer
+from repro.sim.random import stable_hash32
+from repro.tcp.config import TcpConfig
+from repro.tcp.segment import seq_add, seq_diff, seq_gt, seq_le, seq_lt
+from repro.tcp.state import TcpState
+
+ConnKey = Tuple[Endpoint, Endpoint]  # (local, remote)
+
+
+class ConnectionHandler:
+    """Application callbacks; subclass and override what you need."""
+
+    def on_connected(self, conn: "TcpConnection") -> None:
+        """Handshake completed; the connection is ESTABLISHED."""
+
+    def on_data(self, conn: "TcpConnection", data: bytes) -> None:
+        """In-order application bytes arrived."""
+
+    def on_remote_close(self, conn: "TcpConnection") -> None:
+        """The peer sent FIN; no more data will arrive."""
+
+    def on_closed(self, conn: "TcpConnection") -> None:
+        """The connection reached CLOSED/TIME_WAIT cleanly."""
+
+    def on_error(self, conn: "TcpConnection", reason: str) -> None:
+        """The connection was aborted ("reset" or "timeout")."""
+
+
+HandlerFactory = Callable[["TcpConnection"], ConnectionHandler]
+
+
+class TcpStack:
+    """Demultiplexes a host's packets to listeners and connections."""
+
+    def __init__(
+        self,
+        host: Host,
+        loop: EventLoop,
+        config: Optional[TcpConfig] = None,
+    ):
+        self.host = host
+        self.loop = loop
+        self.config = config or TcpConfig()
+        self._conns: Dict[ConnKey, TcpConnection] = {}
+        self._listeners: Dict[int, HandlerFactory] = {}
+        self._ports = EphemeralPorts()
+        self._isn_counter = 0
+        host.set_handler(self._on_packet)
+
+    # -- API -----------------------------------------------------------------
+    def listen(self, port: int, factory: HandlerFactory) -> None:
+        """Accept connections to ``port`` on any IP this host owns."""
+        if port in self._listeners:
+            raise TcpError(f"port {port} already listening on {self.host.name}")
+        self._listeners[port] = factory
+
+    def close_listener(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def connect(
+        self,
+        remote: Endpoint,
+        handler: ConnectionHandler,
+        local_ip: Optional[str] = None,
+        local_port: Optional[int] = None,
+    ) -> "TcpConnection":
+        """Actively open a connection to ``remote``."""
+        ip = local_ip or self.host.ip
+        if local_port is None:
+            # skip ports still held by live/TIME_WAIT connections
+            for _ in range(EphemeralPorts.HIGH - EphemeralPorts.LOW + 1):
+                candidate = self._ports.next()
+                if (Endpoint(ip, candidate), remote) not in self._conns:
+                    local_port = candidate
+                    break
+            else:
+                raise TcpError(f"ephemeral ports exhausted toward {remote}")
+        local = Endpoint(ip, local_port)
+        key = (local, remote)
+        if key in self._conns:
+            raise TcpError(f"connection {local} -> {remote} already exists")
+        conn = TcpConnection(self, local, remote, handler)
+        self._conns[key] = conn
+        conn._active_open()
+        return conn
+
+    def connections(self) -> Dict[ConnKey, "TcpConnection"]:
+        return dict(self._conns)
+
+    def choose_isn(self, local: Endpoint, remote: Endpoint) -> int:
+        if self.config.isn_fn is not None:
+            return self.config.isn_fn(f"{local}-{remote}")
+        self._isn_counter += 1
+        return stable_hash32(f"{local}-{remote}", salt=str(self._isn_counter))
+
+    # -- plumbing --------------------------------------------------------------
+    def _register(self, conn: "TcpConnection") -> None:
+        self._conns[(conn.local, conn.remote)] = conn
+
+    def _unregister(self, conn: "TcpConnection") -> None:
+        self._conns.pop((conn.local, conn.remote), None)
+
+    def _transmit(self, packet: Packet) -> None:
+        self.host.send(packet)
+
+    def _on_packet(self, pkt: Packet) -> None:
+        key = (pkt.dst, pkt.src)
+        conn = self._conns.get(key)
+        if conn is not None:
+            conn._handle(pkt)
+            return
+        if pkt.syn and not pkt.has_ack:
+            factory = self._listeners.get(pkt.dst.port)
+            if factory is not None:
+                conn = TcpConnection(self, local=pkt.dst, remote=pkt.src, handler=None)
+                conn.handler = factory(conn)
+                self._conns[key] = conn
+                conn._passive_open(pkt)
+                return
+        if not pkt.rst:
+            # RFC 793: reset unknown flows.  This is what makes a rerouted
+            # flow visibly break when it lands on a proxy with no state.
+            rst_seq = pkt.ack if pkt.has_ack else 0
+            self._transmit(
+                Packet(src=pkt.dst, dst=pkt.src, flags=RST | ACK, seq=rst_seq,
+                       ack=seq_add(pkt.seq, max(pkt.seq_span, 1)))
+            )
+
+
+class TcpConnection:
+    """One TCP connection's full state machine."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        local: Endpoint,
+        remote: Endpoint,
+        handler: Optional[ConnectionHandler],
+    ):
+        self.stack = stack
+        self.loop = stack.loop
+        self.config = stack.config
+        self.local = local
+        self.remote = remote
+        self.handler: ConnectionHandler = handler or ConnectionHandler()
+        self.state = TcpState.CLOSED
+
+        # send side
+        self.iss = stack.choose_isn(local, remote)
+        self._snd_una = self.iss
+        self._snd_nxt = self.iss
+        self._snd_buf = bytearray()  # bytes in [snd_buf_seq, ...), unacked+unsent
+        self._snd_buf_seq = seq_add(self.iss, 1)
+        self._fin_queued = False
+        self._fin_sent_seq: Optional[int] = None
+        self._cwnd = self.config.initial_cwnd_bytes
+        self._ssthresh = 1 << 30
+        self._dupacks = 0
+        self._recovery_point: Optional[int] = None  # NewReno fast recovery
+
+        # receive side
+        self.irs = 0
+        self._rcv_nxt = 0
+        self._reasm: Dict[int, bytes] = {}
+        self._remote_fin_seen = False
+
+        # timers & accounting
+        self._retx_timer = Timer(self.loop, self._on_rto)
+        self._time_wait_timer = Timer(self.loop, self._time_wait_done)
+        self._rto = self.config.data_rto_initial
+        self._retries = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.retransmit_count = 0
+        self.opened_at = self.loop.now()
+        self.established_at: Optional[float] = None
+        self.closed_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ API --
+    def send(self, data: bytes) -> None:
+        """Queue application bytes for transmission."""
+        if self._fin_queued:
+            raise TcpError("send() after close()")
+        if self.state in (TcpState.CLOSED, TcpState.TIME_WAIT, TcpState.LAST_ACK,
+                          TcpState.CLOSING, TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2):
+            raise TcpError(f"send() in state {self.state.value}")
+        self._snd_buf.extend(data)
+        self._pump()
+
+    def close(self) -> None:
+        """Graceful close: FIN after all queued data is sent."""
+        if self._fin_queued or self.state is TcpState.CLOSED:
+            return
+        self._fin_queued = True
+        self._pump()
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Hard close: send RST, drop all state."""
+        if self.state is not TcpState.CLOSED and self.state.synchronized:
+            self.stack._transmit(
+                Packet(src=self.local, dst=self.remote, flags=RST | ACK,
+                       seq=self._snd_nxt, ack=self._rcv_nxt)
+            )
+        self._teardown()
+        self.handler.on_error(self, reason)
+
+    @property
+    def established(self) -> bool:
+        return self.state is TcpState.ESTABLISHED
+
+    @property
+    def snd_una(self) -> int:
+        return self._snd_una
+
+    @property
+    def rcv_nxt(self) -> int:
+        return self._rcv_nxt
+
+    # ------------------------------------------------------------- handshake --
+    def _active_open(self) -> None:
+        self.state = TcpState.SYN_SENT
+        self._snd_una = self.iss
+        self._snd_nxt = seq_add(self.iss, 1)
+        self._send_flags(SYN, seq=self.iss, with_ack=False)
+        self._rto = self.config.syn_rto
+        self._retx_timer.start(self._rto)
+
+    def _passive_open(self, syn: Packet) -> None:
+        self.state = TcpState.SYN_RCVD
+        self.irs = syn.seq
+        self._rcv_nxt = seq_add(syn.seq, 1)
+        self._snd_una = self.iss
+        self._snd_nxt = seq_add(self.iss, 1)
+        self._send_flags(SYN | ACK, seq=self.iss)
+        self._rto = self.config.syn_rto
+        self._retx_timer.start(self._rto)
+
+    # ------------------------------------------------------------ packet I/O --
+    def _send_flags(self, flags: int, seq: int, with_ack: bool = True,
+                    payload: bytes = b"") -> None:
+        if with_ack:
+            flags |= ACK
+        self.stack._transmit(
+            Packet(src=self.local, dst=self.remote, flags=flags, seq=seq,
+                   ack=self._rcv_nxt if with_ack else 0, payload=payload)
+        )
+
+    def _send_ack(self) -> None:
+        self._send_flags(ACK, seq=self._snd_nxt)
+
+    def _handle(self, pkt: Packet) -> None:
+        if pkt.rst:
+            self._handle_rst(pkt)
+            return
+        if self.state is TcpState.SYN_SENT:
+            self._handle_syn_sent(pkt)
+            return
+        if self.state is TcpState.SYN_RCVD and pkt.syn and not pkt.has_ack:
+            # duplicate SYN from the client: re-send SYN-ACK
+            self._send_flags(SYN | ACK, seq=self.iss)
+            return
+        if self.state is TcpState.TIME_WAIT:
+            if pkt.fin:
+                self._send_ack()  # re-ACK a retransmitted FIN
+            return
+        if pkt.has_ack:
+            self._process_ack(pkt)
+        if self.state is TcpState.CLOSED:
+            return
+        if pkt.payload or pkt.fin:
+            self._process_data(pkt)
+        self._pump()
+
+    def _handle_rst(self, pkt: Packet) -> None:
+        # Accept RST only if plausibly in-window (loose check: not stale).
+        if self.state is TcpState.CLOSED:
+            return
+        self._teardown()
+        self.handler.on_error(self, "reset")
+
+    def _handle_syn_sent(self, pkt: Packet) -> None:
+        if pkt.syn and pkt.has_ack and pkt.ack == seq_add(self.iss, 1):
+            self.irs = pkt.seq
+            self._rcv_nxt = seq_add(pkt.seq, 1)
+            self._snd_una = pkt.ack
+            self._retx_timer.cancel()
+            self._retries = 0
+            self._rto = self.config.data_rto_initial
+            self.state = TcpState.ESTABLISHED
+            self.established_at = self.loop.now()
+            self._send_ack()
+            self.handler.on_connected(self)
+            self._pump()
+
+    def _process_ack(self, pkt: Packet) -> None:
+        if self.state is TcpState.SYN_RCVD:
+            if pkt.ack == seq_add(self.iss, 1):
+                self._snd_una = pkt.ack
+                self._retx_timer.cancel()
+                self._retries = 0
+                self._rto = self.config.data_rto_initial
+                self.state = TcpState.ESTABLISHED
+                self.established_at = self.loop.now()
+                self.handler.on_connected(self)
+            else:
+                return
+        acked = seq_diff(pkt.ack, self._snd_una)
+        if acked > 0 and seq_le(pkt.ack, self._snd_nxt):
+            self._register_ack(pkt.ack, acked)
+        elif acked == 0 and not pkt.payload and not pkt.syn and not pkt.fin:
+            self._dupacks += 1
+            if self._dupacks == self.config.dupack_threshold:
+                self._fast_retransmit()
+
+    def _register_ack(self, ack: int, acked_bytes: int) -> None:
+        self._dupacks = 0
+        # trim the send buffer
+        buffered_acked = seq_diff(ack, self._snd_buf_seq)
+        if buffered_acked > 0:
+            n = min(buffered_acked, len(self._snd_buf))
+            del self._snd_buf[:n]
+            self._snd_buf_seq = seq_add(self._snd_buf_seq, n)
+        self._snd_una = ack
+        # congestion window growth
+        if self._cwnd < self._ssthresh:
+            self._cwnd += min(acked_bytes, self.config.mss)
+        else:
+            self._cwnd += max(1, self.config.mss * self.config.mss // self._cwnd)
+        # retransmission timer management
+        self._retries = 0
+        self._rto = self.config.data_rto_initial
+        if seq_lt(self._snd_una, self._snd_nxt):
+            self._retx_timer.start(self._rto)
+        else:
+            self._retx_timer.cancel()
+        # NewReno partial-ACK handling: while recovering from loss, each
+        # ACK that does not cover the recovery point exposes the next hole;
+        # retransmit it immediately instead of waiting out another RTO.
+        if self._recovery_point is not None:
+            if seq_lt(ack, self._recovery_point):
+                self.retransmit_count += 1
+                self._retransmit_oldest()
+            else:
+                self._recovery_point = None
+        # FIN acked?
+        if self._fin_sent_seq is not None and seq_gt(ack, self._fin_sent_seq):
+            self._on_fin_acked()
+
+    def _on_fin_acked(self) -> None:
+        if self.state is TcpState.FIN_WAIT_1:
+            self.state = TcpState.FIN_WAIT_2
+        elif self.state is TcpState.CLOSING:
+            self._enter_time_wait()
+        elif self.state is TcpState.LAST_ACK:
+            self._finish_closed()
+
+    def _process_data(self, pkt: Packet) -> None:
+        payload = pkt.payload
+        seq = pkt.seq
+        advanced = False
+        if payload:
+            offset = seq_diff(self._rcv_nxt, seq)
+            if offset < 0:
+                # future segment: stash for reassembly
+                self._reasm[seq] = payload
+            elif offset < len(payload):
+                fresh = payload[offset:]
+                self._deliver(fresh)
+                advanced = True
+                self._drain_reasm()
+            # else: entirely duplicate -- just re-ACK below
+        # FIN occupies the sequence slot after the payload
+        if pkt.fin:
+            fin_seq = seq_add(pkt.seq, len(payload))
+            if fin_seq == self._rcv_nxt and not self._remote_fin_seen:
+                self._remote_fin_seen = True
+                self._rcv_nxt = seq_add(self._rcv_nxt, 1)
+                advanced = True
+                self._on_remote_fin()
+        self._send_ack()
+        if advanced:
+            self._dupacks = 0
+
+    def _deliver(self, data: bytes) -> None:
+        self._rcv_nxt = seq_add(self._rcv_nxt, len(data))
+        self.bytes_received += len(data)
+        self.handler.on_data(self, data)
+
+    def _drain_reasm(self) -> None:
+        while self._rcv_nxt in self._reasm:
+            chunk = self._reasm.pop(self._rcv_nxt)
+            self._deliver(chunk)
+
+    def _on_remote_fin(self) -> None:
+        if self.state is TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+        elif self.state is TcpState.FIN_WAIT_1:
+            # our FIN not yet acked -> simultaneous close
+            self.state = TcpState.CLOSING
+        elif self.state is TcpState.FIN_WAIT_2:
+            self._enter_time_wait()
+        self.handler.on_remote_close(self)
+
+    # ------------------------------------------------------------ transmit --
+    def _pump(self) -> None:
+        if self.state in (TcpState.CLOSED, TcpState.SYN_SENT, TcpState.SYN_RCVD,
+                          TcpState.TIME_WAIT):
+            return
+        while True:
+            in_flight = seq_diff(self._snd_nxt, self._snd_una)
+            window = min(self._cwnd, self.config.rwnd)
+            budget = window - in_flight
+            unsent_off = seq_diff(self._snd_nxt, self._snd_buf_seq)
+            unsent = len(self._snd_buf) - unsent_off
+            if unsent > 0 and budget > 0 and self._fin_sent_seq is None:
+                n = min(unsent, self.config.mss, budget)
+                chunk = bytes(self._snd_buf[unsent_off:unsent_off + n])
+                flags = ACK | (PSH if n == unsent else 0)
+                self._send_flags(flags, seq=self._snd_nxt, payload=chunk)
+                self._snd_nxt = seq_add(self._snd_nxt, n)
+                self.bytes_sent += n
+                if not self._retx_timer.armed:
+                    self._retx_timer.start(self._rto)
+                continue
+            if (self._fin_queued and self._fin_sent_seq is None and unsent == 0
+                    and self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)):
+                self._fin_sent_seq = self._snd_nxt
+                self._send_flags(FIN | ACK, seq=self._snd_nxt)
+                self._snd_nxt = seq_add(self._snd_nxt, 1)
+                self.state = (TcpState.FIN_WAIT_1 if self.state is TcpState.ESTABLISHED
+                              else TcpState.LAST_ACK)
+                if not self._retx_timer.armed:
+                    self._retx_timer.start(self._rto)
+            break
+
+    # --------------------------------------------------------------- timers --
+    def _on_rto(self) -> None:
+        self._retries += 1
+        if self._retries > self.config.max_retries:
+            self._teardown()
+            self.handler.on_error(self, "timeout")
+            return
+        self.retransmit_count += 1
+        if self.state is TcpState.SYN_SENT:
+            self._send_flags(SYN, seq=self.iss, with_ack=False)
+        elif self.state is TcpState.SYN_RCVD:
+            self._send_flags(SYN | ACK, seq=self.iss)
+        else:
+            self._retransmit_oldest()
+            # RTO => multiplicative decrease, restart from one segment
+            in_flight = max(seq_diff(self._snd_nxt, self._snd_una), self.config.mss)
+            self._ssthresh = max(in_flight // 2, 2 * self.config.mss)
+            self._cwnd = self.config.mss
+            self._recovery_point = self._snd_nxt
+        self._rto = min(self._rto * 2, self.config.rto_max)
+        self._retx_timer.start(self._rto)
+
+    def _retransmit_oldest(self) -> None:
+        if (self._fin_sent_seq is not None and self._snd_una == self._fin_sent_seq):
+            self._send_flags(FIN | ACK, seq=self._fin_sent_seq)
+            return
+        off = seq_diff(self._snd_una, self._snd_buf_seq)
+        if 0 <= off < len(self._snd_buf):
+            n = min(self.config.mss, len(self._snd_buf) - off)
+            chunk = bytes(self._snd_buf[off:off + n])
+            self._send_flags(ACK, seq=self._snd_una, payload=chunk)
+
+    def _fast_retransmit(self) -> None:
+        if not seq_lt(self._snd_una, self._snd_nxt):
+            return
+        self.retransmit_count += 1
+        in_flight = max(seq_diff(self._snd_nxt, self._snd_una), self.config.mss)
+        self._ssthresh = max(in_flight // 2, 2 * self.config.mss)
+        self._cwnd = self._ssthresh
+        self._recovery_point = self._snd_nxt
+        self._retransmit_oldest()
+
+    # ------------------------------------------------------------- teardown --
+    def _enter_time_wait(self) -> None:
+        self.state = TcpState.TIME_WAIT
+        self._retx_timer.cancel()
+        self.handler.on_closed(self)
+        self._time_wait_timer.start(self.config.time_wait)
+
+    def _time_wait_done(self) -> None:
+        self._finish_closed(notify=False)
+
+    def _finish_closed(self, notify: bool = True) -> None:
+        already_closed = self.state is TcpState.CLOSED
+        self._teardown()
+        if notify and not already_closed:
+            self.handler.on_closed(self)
+
+    def _teardown(self) -> None:
+        self.state = TcpState.CLOSED
+        self.closed_at = self.loop.now()
+        self._retx_timer.cancel()
+        self._time_wait_timer.cancel()
+        self.stack._unregister(self)
+
+    def __repr__(self) -> str:
+        return (f"TcpConnection({self.local} -> {self.remote}, "
+                f"{self.state.value})")

@@ -1,0 +1,47 @@
+"""32-bit sequence-space arithmetic (RFC 793 style).
+
+Sequence numbers live modulo 2**32 and comparisons are only meaningful for
+numbers within half the space of each other.  YODA's whole tunneling trick
+is a constant offset in this space (Section 4.1: translate server sequence
+numbers by C - S), so these helpers are shared between the TCP endpoints
+and YODA's packet rewriter -- and they must agree about wraparound.
+"""
+
+from __future__ import annotations
+
+SEQ_MOD = 1 << 32
+_HALF = 1 << 31
+
+
+def seq_add(seq: int, delta: int) -> int:
+    """seq + delta, mod 2**32 (delta may be negative)."""
+    return (seq + delta) % SEQ_MOD
+
+
+def seq_diff(a: int, b: int) -> int:
+    """Signed distance a - b, assuming |a - b| < 2**31 in sequence space."""
+    d = (a - b) % SEQ_MOD
+    if d >= _HALF:
+        d -= SEQ_MOD
+    return d
+
+
+def seq_lt(a: int, b: int) -> bool:
+    return seq_diff(a, b) < 0
+
+
+def seq_le(a: int, b: int) -> bool:
+    return seq_diff(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    return seq_diff(a, b) > 0
+
+
+def seq_ge(a: int, b: int) -> bool:
+    return seq_diff(a, b) >= 0
+
+
+def seq_between(low: int, x: int, high: int) -> bool:
+    """True when low <= x < high in sequence space."""
+    return seq_le(low, x) and seq_lt(x, high)

@@ -1,0 +1,46 @@
+"""TCP connection states (RFC 793)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TcpState(enum.Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+    @property
+    def synchronized(self) -> bool:
+        """States where the handshake has completed."""
+        return self in _SYNCHRONIZED
+
+    @property
+    def can_send(self) -> bool:
+        """States where the local side may still send new data."""
+        return self in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+
+    @property
+    def closed(self) -> bool:
+        return self is TcpState.CLOSED
+
+
+_SYNCHRONIZED = frozenset(
+    {
+        TcpState.ESTABLISHED,
+        TcpState.FIN_WAIT_1,
+        TcpState.FIN_WAIT_2,
+        TcpState.CLOSE_WAIT,
+        TcpState.CLOSING,
+        TcpState.LAST_ACK,
+        TcpState.TIME_WAIT,
+    }
+)

@@ -1,0 +1,24 @@
+"""Workloads: web object corpora, browser processes and the 24 h trace.
+
+The paper's testbed serves a crawled university website (10K+ objects,
+1 KB-442 KB, median 46 KB) to closed-loop browser-like clients, and its
+simulations replay a one-day production trace with 100+ VIPs and 50K+
+rules.  Neither artifact is public, so both are synthesized here with the
+published marginals (see DESIGN.md's substitution table).
+"""
+
+from repro.workload.clients import ClosedLoopProcess, OpenLoopGenerator
+from repro.workload.objects import ObjectCorpus, build_university_site
+from repro.workload.trace import ProductionTrace, TraceConfig, generate_trace
+from repro.workload.website import Website
+
+__all__ = [
+    "ObjectCorpus",
+    "build_university_site",
+    "Website",
+    "ClosedLoopProcess",
+    "OpenLoopGenerator",
+    "ProductionTrace",
+    "TraceConfig",
+    "generate_trace",
+]

@@ -1,0 +1,29 @@
+"""Shared fixtures: small wired deployments for integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.sim.events import EventLoop
+from repro.sim.random import SeededRng
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop()
+
+
+@pytest.fixture
+def rng() -> SeededRng:
+    return SeededRng(1234)
+
+
+@pytest.fixture
+def network(loop, rng) -> Network:
+    return Network(loop, rng)
+
+
+def make_host(network: Network, name: str, ip: str, site: str = "dc") -> Host:
+    return network.attach(Host(name, [ip], site=site))

@@ -1,0 +1,92 @@
+"""Flow state: deterministic ISN, serialization, keys."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.flowstate import (
+    FlowPhase, FlowState, client_key, server_key, yoda_isn,
+)
+from repro.errors import ReproError
+from repro.net.addresses import Endpoint
+
+CLIENT = Endpoint("172.16.0.9", 43210)
+VIP = Endpoint("100.0.0.1", 80)
+SERVER = Endpoint("10.3.0.5", 80)
+
+
+class TestYodaIsn:
+    def test_deterministic_across_computations(self):
+        assert yoda_isn(CLIENT, VIP) == yoda_isn(CLIENT, VIP)
+
+    def test_depends_on_client_and_vip(self):
+        other_client = Endpoint("172.16.0.9", 43211)
+        other_vip = Endpoint("100.0.0.2", 80)
+        assert yoda_isn(CLIENT, VIP) != yoda_isn(other_client, VIP)
+        assert yoda_isn(CLIENT, VIP) != yoda_isn(CLIENT, other_vip)
+
+    def test_is_32_bit(self):
+        assert 0 <= yoda_isn(CLIENT, VIP) < 2**32
+
+
+class TestKeys:
+    def test_client_key_unique_per_flow(self):
+        k1 = client_key(CLIENT, VIP)
+        k2 = client_key(Endpoint("172.16.0.9", 43211), VIP)
+        assert k1 != k2
+
+    def test_server_key_includes_snat_port(self):
+        assert server_key("100.0.0.1", 40000, SERVER) != \
+            server_key("100.0.0.1", 40001, SERVER)
+
+
+class TestSerialization:
+    def test_roundtrip_minimal(self):
+        state = FlowState(client=CLIENT, vip=VIP, client_isn=12345)
+        restored = FlowState.from_bytes(state.to_bytes())
+        assert restored.client == CLIENT
+        assert restored.client_isn == 12345
+        assert restored.server is None
+        assert not restored.established
+
+    def test_roundtrip_established(self):
+        state = FlowState(
+            client=CLIENT, vip=VIP, client_isn=1, phase=FlowPhase.TUNNEL.value,
+            server=SERVER, server_isn=999, snat_port=40007,
+            request_offset=100, response_offset=200, created_at=1.5,
+        )
+        restored = FlowState.from_bytes(state.to_bytes())
+        assert restored.established
+        assert restored.server == SERVER
+        assert restored.server_isn == 999
+        assert restored.snat_port == 40007
+        assert restored.request_offset == 100
+        assert restored.response_offset == 200
+
+    def test_yoda_isn_not_stored(self):
+        # the ISN is recomputed, never persisted -- the paper's trick
+        state = FlowState(client=CLIENT, vip=VIP, client_isn=1)
+        assert b"yoda_isn" not in state.to_bytes()
+        assert FlowState.from_bytes(state.to_bytes()).yoda_isn == state.yoda_isn
+
+    def test_corrupt_bytes_raise(self):
+        with pytest.raises(ReproError):
+            FlowState.from_bytes(b"not json at all")
+        with pytest.raises(ReproError):
+            FlowState.from_bytes(b"{}")
+
+    def test_server_storage_key_requires_establishment(self):
+        state = FlowState(client=CLIENT, vip=VIP, client_isn=1)
+        assert state.server_storage_key() is None
+        state.server = SERVER
+        state.snat_port = 40000
+        assert state.server_storage_key() is not None
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1),
+           st.integers(1024, 65000))
+    def test_roundtrip_any_numbers(self, cisn, sisn, snat):
+        state = FlowState(client=CLIENT, vip=VIP, client_isn=cisn,
+                          server=SERVER, server_isn=sisn, snat_port=snat)
+        restored = FlowState.from_bytes(state.to_bytes())
+        assert restored.client_isn == cisn
+        assert restored.server_isn == sisn
+        assert restored.snat_port == snat

@@ -1,0 +1,218 @@
+"""Rule matching, actions, priorities, selection policies."""
+
+import pytest
+
+from repro.core.policy import (
+    VipPolicy, least_loaded, primary_backup, sticky_sessions, weighted_split,
+)
+from repro.core.rules import LEAST_LOADED, Action, Match, Rule
+from repro.core.selector import RuleTable, ScanCostModel
+from repro.errors import PolicyError
+from repro.http.message import HttpRequest
+from repro.net.addresses import Endpoint
+from repro.sim.random import SeededRng
+
+
+def req(path="/x.jpg", host="mysite.com", cookie=None, headers=None, method="GET"):
+    hdrs = dict(headers or {})
+    if cookie:
+        hdrs["Cookie"] = cookie
+    return HttpRequest(method, path, host=host, headers=hdrs)
+
+
+class TestMatch:
+    def test_url_glob(self):
+        m = Match(url="*.jpg")
+        assert m.matches(req("/a/b.jpg"))
+        assert not m.matches(req("/a/b.css"))
+
+    def test_path_glob(self):
+        m = Match(path="/news/*")
+        assert m.matches(req("/news/today.html"))
+        assert not m.matches(req("/sports/x.html"))
+
+    def test_host_in_url(self):
+        m = Match(url="mysite.com/news*")
+        assert m.matches(req("/news/a", host="mysite.com"))
+        assert not m.matches(req("/news/a", host="other.com"))
+
+    def test_cookie_presence(self):
+        m = Match(cookie="session")
+        assert m.matches(req(cookie="session=abc"))
+        assert not m.matches(req(cookie="other=1"))
+        assert not m.matches(req())
+
+    def test_cookie_value_glob(self):
+        m = Match(cookie="lang=en*")
+        assert m.matches(req(cookie="lang=en-GB"))
+        assert not m.matches(req(cookie="lang=fr"))
+
+    def test_header_match(self):
+        m = Match(header="Accept-Language=en*")
+        assert m.matches(req(headers={"Accept-Language": "en-GB"}))
+        assert not m.matches(req(headers={"Accept-Language": "de"}))
+
+    def test_method(self):
+        m = Match(method="POST")
+        assert m.matches(req(method="POST"))
+        assert not m.matches(req(method="GET"))
+
+    def test_conjunction(self):
+        m = Match(url="*.jpg", method="GET", cookie="a")
+        assert m.matches(req("/x.jpg", cookie="a=1"))
+        assert not m.matches(req("/x.jpg"))
+
+    def test_wildcard_matches_everything(self):
+        assert Match().matches(req())
+
+
+class TestAction:
+    def test_requires_exactly_one_kind(self):
+        with pytest.raises(PolicyError):
+            Action()
+        with pytest.raises(PolicyError):
+            Action(split={"a": 1.0}, table="c", table_members=("a",))
+
+    def test_rejects_mixed_negative_weights(self):
+        with pytest.raises(PolicyError):
+            Action(split={"a": -1.0, "b": 2.0})
+
+    def test_all_negative_is_least_loaded(self):
+        act = Action(split={"a": LEAST_LOADED, "b": LEAST_LOADED})
+        assert act.least_loaded
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(PolicyError):
+            Action(split={"a": 0.0})
+
+    def test_table_needs_members(self):
+        with pytest.raises(PolicyError):
+            Action(table="cookie")
+
+
+class FakeView:
+    def __init__(self, healthy=(), loads=None):
+        self._healthy = set(healthy)
+        self._loads = loads or {}
+
+    def is_healthy(self, b):
+        return b in self._healthy
+
+    def load(self, b):
+        return self._loads.get(b, 0.0)
+
+
+class TestSelection:
+    def setup_method(self):
+        self.rng = SeededRng(77).fork("test")
+
+    def test_weighted_split_distribution(self):
+        table = RuleTable([weighted_split("w", "*", {"a": 3.0, "b": 1.0})])
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            res = table.select(req(), self.rng)
+            counts[res.backend] += 1
+        assert 0.65 < counts["a"] / 2000 < 0.85
+
+    def test_priority_order_wins(self):
+        rules = [
+            Rule("low", 1, Match(url="*.css"), Action(split={"b": 1.0})),
+            Rule("high", 5, Match(url="*.css"), Action(split={"a": 1.0})),
+        ]
+        table = RuleTable(rules)
+        assert table.select(req("/s.css"), self.rng).backend == "a"
+
+    def test_primary_backup_failover(self):
+        rules = primary_backup("pb", "*", {"prim": 1.0}, {"back": 1.0})
+        table = RuleTable(rules)
+        up = FakeView(healthy={"prim", "back"})
+        assert table.select(req(), self.rng, up).backend == "prim"
+        down = FakeView(healthy={"back"})
+        assert table.select(req(), self.rng, down).backend == "back"
+
+    def test_no_rule_matches_returns_none(self):
+        table = RuleTable([weighted_split("w", "*.jpg", {"a": 1.0})])
+        assert table.select(req("/x.css"), self.rng) is None
+
+    def test_all_backends_down_returns_none(self):
+        table = RuleTable([weighted_split("w", "*", {"a": 1.0})])
+        assert table.select(req(), self.rng, FakeView(healthy=set())) is None
+
+    def test_least_loaded_picks_min(self):
+        table = RuleTable([least_loaded("ll", "*", ["a", "b", "c"])])
+        view = FakeView(healthy={"a", "b", "c"},
+                        loads={"a": 5.0, "b": 1.0, "c": 3.0})
+        assert table.select(req(), self.rng, view).backend == "b"
+
+    def test_sticky_sessions_stable(self):
+        table = RuleTable([sticky_sessions("s", "sid", ["a", "b", "c"])])
+        view = FakeView(healthy={"a", "b", "c"})
+        first = table.select(req(cookie="sid=user42"), self.rng, view).backend
+        for _ in range(10):
+            again = table.select(req(cookie="sid=user42"), self.rng, view).backend
+            assert again == first
+
+    def test_sticky_sessions_survive_unrelated_failure(self):
+        table = RuleTable([sticky_sessions("s", "sid", ["a", "b", "c"])])
+        all_up = FakeView(healthy={"a", "b", "c"})
+        chosen = table.select(req(cookie="sid=u1"), self.rng, all_up).backend
+        others = {"a", "b", "c"} - {chosen}
+        degraded = FakeView(healthy={chosen} | (others - {next(iter(others))}))
+        assert table.select(req(cookie="sid=u1"), self.rng, degraded).backend == chosen
+
+    def test_sticky_remaps_only_on_own_backend_failure(self):
+        table = RuleTable([sticky_sessions("s", "sid", ["a", "b", "c"])])
+        all_up = FakeView(healthy={"a", "b", "c"})
+        chosen = table.select(req(cookie="sid=u1"), self.rng, all_up).backend
+        without = FakeView(healthy={"a", "b", "c"} - {chosen})
+        new = table.select(req(cookie="sid=u1"), self.rng, without).backend
+        assert new != chosen
+
+    def test_rules_scanned_counts_until_match(self):
+        rules = [
+            Rule(f"r{i}", 10 - i, Match(path=f"/p{i}/*"),
+                 Action(split={"a": 1.0}))
+            for i in range(5)
+        ]
+        table = RuleTable(rules)
+        res = table.select(req("/p3/x"), self.rng)
+        assert res.rules_scanned == 4
+
+    def test_scan_latency_model_linear(self):
+        model = ScanCostModel(base=0.001, per_rule=1e-6)
+        assert model.latency(1000) == pytest.approx(0.002)
+
+    def test_fig6_calibration_ratio(self):
+        model = ScanCostModel()  # defaults
+        assert model.latency(10_000) / model.latency(1_000) == pytest.approx(3.0, rel=0.01)
+        assert model.latency(2_000) == pytest.approx(5e-3, rel=0.01)
+
+
+class TestVipPolicy:
+    def _backends(self):
+        return {"a": Endpoint("10.3.0.1", 80), "b": Endpoint("10.3.0.2", 80)}
+
+    def test_validates_backend_references(self):
+        with pytest.raises(PolicyError):
+            VipPolicy(vip="100.0.0.1", backends=self._backends(),
+                      rules=[weighted_split("w", "*", {"ghost": 1.0})])
+
+    def test_updated_bumps_version(self):
+        policy = VipPolicy(vip="100.0.0.1", backends=self._backends(),
+                           rules=[weighted_split("w", "*", {"a": 1.0})])
+        updated = policy.updated(rules=[weighted_split("w", "*", {"b": 1.0})])
+        assert updated.version == policy.version + 1
+        assert policy.version == 1  # original untouched
+
+    def test_endpoint_of_unknown_backend(self):
+        policy = VipPolicy(vip="100.0.0.1", backends=self._backends(),
+                           rules=[weighted_split("w", "*", {"a": 1.0})])
+        with pytest.raises(PolicyError):
+            policy.endpoint_of("ghost")
+
+    def test_rule_count(self):
+        policy = VipPolicy(
+            vip="100.0.0.1", backends=self._backends(),
+            rules=primary_backup("pb", "*", {"a": 1.0}, {"b": 1.0}),
+        )
+        assert policy.rule_count == 2

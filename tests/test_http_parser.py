@@ -1,0 +1,118 @@
+"""Incremental HTTP parser, including property-based chunking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HttpParseError
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.parser import HttpParser
+
+REQ = HttpRequest("GET", "/a.html", host="h", headers={"X-K": "v"}).serialize()
+RESP = HttpResponse(200, body=b"hello world").serialize()
+
+
+class TestRequestParsing:
+    def test_single_feed(self):
+        out = HttpParser("request").feed(REQ)
+        assert len(out) == 1
+        msg = out[0].message
+        assert msg.method == "GET" and msg.path == "/a.html"
+        assert msg.headers.get("X-K") == "v"
+        assert out[0].wire_bytes == len(REQ)
+
+    def test_byte_by_byte(self):
+        parser = HttpParser("request")
+        out = []
+        for i in range(len(REQ)):
+            out.extend(parser.feed(REQ[i:i + 1]))
+        assert len(out) == 1
+        assert out[0].message.path == "/a.html"
+
+    def test_pipelined_requests_in_one_feed(self):
+        out = HttpParser("request").feed(REQ + REQ + REQ)
+        assert len(out) == 3
+
+    def test_request_with_body(self):
+        req = HttpRequest("POST", "/submit", body=b"x" * 100).serialize()
+        out = HttpParser("request").feed(req)
+        assert out[0].message.body == b"x" * 100
+
+    def test_body_split_across_feeds(self):
+        req = HttpRequest("POST", "/s", body=b"abcdef").serialize()
+        parser = HttpParser("request")
+        assert parser.feed(req[:-3]) == []
+        out = parser.feed(req[-3:])
+        assert out[0].message.body == b"abcdef"
+
+    def test_header_complete_flag(self):
+        parser = HttpParser("request")
+        head, _, rest = REQ.partition(b"\r\n\r\n")
+        parser.feed(head)
+        assert not parser.header_complete()
+        parser.feed(b"\r\n\r\n")
+        # fully parsed counts as past header-complete for an empty-body GET
+        assert parser.buffered == 0
+
+    def test_malformed_header_line_raises(self):
+        parser = HttpParser("request")
+        with pytest.raises(HttpParseError):
+            parser.feed(b"GET / HTTP/1.0\r\nbad header line\r\n\r\n")
+
+    def test_bad_content_length_raises(self):
+        parser = HttpParser("request")
+        with pytest.raises(HttpParseError):
+            parser.feed(b"GET / HTTP/1.0\r\nContent-Length: banana\r\n\r\n")
+
+
+class TestResponseParsing:
+    def test_simple_response(self):
+        out = HttpParser("response").feed(RESP)
+        assert out[0].message.status == 200
+        assert out[0].message.body == b"hello world"
+
+    def test_close_delimited_response(self):
+        parser = HttpParser("response")
+        raw = b"HTTP/1.0 200 OK\r\n\r\npartial body"
+        assert parser.feed(raw) == []
+        final = parser.finish()
+        assert final is not None
+        assert final.message.body == b"partial body"
+
+    def test_finish_without_pending_returns_none(self):
+        assert HttpParser("response").finish() is None
+
+    def test_finish_mid_header_raises(self):
+        parser = HttpParser("response")
+        parser.feed(b"HTTP/1.0 200")
+        with pytest.raises(HttpParseError):
+            parser.finish()
+
+    def test_keep_alive_sequence(self):
+        parser = HttpParser("response")
+        out = parser.feed(RESP + HttpResponse(404, body=b"x").serialize())
+        assert [m.message.status for m in out] == [200, 404]
+
+
+class TestInvalidKind:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            HttpParser("banana")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(1, 40), min_size=0, max_size=30),
+       st.binary(min_size=0, max_size=200))
+def test_arbitrary_chunking_never_changes_result(cut_sizes, body):
+    """However the wire bytes are fragmented, the same message comes out."""
+    wire = HttpRequest("POST", "/p", body=body).serialize() * 2
+    parser = HttpParser("request")
+    messages = []
+    pos = 0
+    for size in cut_sizes:
+        messages.extend(parser.feed(wire[pos:pos + size]))
+        pos += size
+    messages.extend(parser.feed(wire[pos:]))
+    assert len(messages) == 2
+    for parsed in messages:
+        assert parsed.message.body == body
+        assert parsed.message.path == "/p"

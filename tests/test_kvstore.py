@@ -1,0 +1,186 @@
+"""Memcached substrate: hashing, server, replicating client."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KvStoreError
+from repro.kvstore.client import MemcachedCluster, ReplicatingKvClient
+from repro.kvstore.hashring import HashRing
+from repro.kvstore.memcached import MemcachedServer
+from repro.net.host import Host
+from repro.net.links import FixedLatency
+from repro.net.network import Network
+from repro.sim.events import EventLoop
+from repro.sim.random import SeededRng
+
+
+class TestHashRing:
+    def test_lookup_consistent(self):
+        ring = HashRing(["a", "b", "c"])
+        assert ring.lookup("key1") == ring.lookup("key1")
+
+    def test_all_nodes_reachable(self):
+        ring = HashRing(["a", "b", "c"])
+        owners = {ring.lookup(f"key-{i}") for i in range(500)}
+        assert owners == {"a", "b", "c"}
+
+    def test_lookup_n_distinct(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        replicas = ring.lookup_n("some-key", 3)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_lookup_n_caps_at_ring_size(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.lookup_n("k", 5)) == 2
+
+    def test_remove_only_remaps_removed_nodes_keys(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        before = {f"k{i}": ring.lookup(f"k{i}") for i in range(300)}
+        ring.remove("c")
+        for key, owner in before.items():
+            if owner != "c":
+                assert ring.lookup(key) == owner
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(["a"])
+        ring.add("a")
+        assert len(ring) == 1
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(KeyError):
+            HashRing([]).lookup("k")
+
+    @given(st.text(min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_any_key_finds_an_owner(self, key):
+        ring = HashRing(["a", "b", "c"])
+        assert ring.lookup(key) in ("a", "b", "c")
+
+
+@pytest.fixture
+def cluster_world():
+    loop = EventLoop()
+    net = Network(loop, SeededRng(5), default_latency=FixedLatency(0.0002))
+    servers = []
+    for i in range(4):
+        host = net.attach(Host(f"mc{i}", [f"10.2.0.{i + 1}"]))
+        servers.append(MemcachedServer(host, loop))
+    cluster = MemcachedCluster(servers)
+    client_host = net.attach(Host("cli", ["10.1.0.1"]))
+    kv = ReplicatingKvClient(client_host, loop, cluster, replicas=2,
+                             op_timeout=0.05)
+    client_host.set_handler(kv.handle_response)
+    return loop, servers, cluster, kv
+
+
+def run_op(loop, fn, *args):
+    results = []
+    fn(*args, results.append)
+    loop.run(until=loop.now() + 1.0)
+    assert results
+    return results[0]
+
+
+class TestMemcachedServer:
+    def test_lru_eviction(self):
+        loop = EventLoop()
+        net = Network(loop, SeededRng(1))
+        host = net.attach(Host("mc", ["10.2.0.1"]))
+        server = MemcachedServer(host, loop, max_items=2)
+        server._set("a", b"1")
+        server._set("b", b"2")
+        server._get("a")  # refresh a
+        server._set("c", b"3")  # evicts b
+        assert server.peek("a") and server.peek("c")
+        assert server.peek("b") is None
+        assert server.evictions == 1
+
+    def test_recover_comes_back_empty(self):
+        loop = EventLoop()
+        net = Network(loop, SeededRng(1))
+        host = net.attach(Host("mc", ["10.2.0.1"]))
+        server = MemcachedServer(host, loop)
+        server._set("a", b"1")
+        server.fail()
+        server.recover()
+        assert server.peek("a") is None
+
+
+class TestReplication:
+    def test_set_writes_k_replicas(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        result = run_op(loop, kv.set, "key", b"value")
+        assert result.ok
+        holders = [s for s in servers if s.peek("key") == b"value"]
+        assert len(holders) == 2
+
+    def test_replicas_match_ring_choice(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        run_op(loop, kv.set, "key", b"v")
+        expected = set(cluster.replicas_for("key", 2))
+        actual = {s.name for s in servers if s.peek("key")}
+        assert actual == expected
+
+    def test_get_roundtrip(self, cluster_world):
+        loop, _, _, kv = cluster_world
+        run_op(loop, kv.set, "k", b"data")
+        result = run_op(loop, kv.get, "k")
+        assert result.ok and result.value == b"data"
+
+    def test_get_missing_key(self, cluster_world):
+        loop, _, _, kv = cluster_world
+        result = run_op(loop, kv.get, "ghost")
+        assert not result.ok and result.value is None
+
+    def test_delete_removes_all_replicas(self, cluster_world):
+        loop, servers, _, kv = cluster_world
+        run_op(loop, kv.set, "k", b"v")
+        run_op(loop, kv.delete, "k")
+        assert all(s.peek("k") is None for s in servers)
+
+    def test_survives_one_replica_failure(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        run_op(loop, kv.set, "k", b"v")
+        holders = [s for s in servers if s.peek("k")]
+        holders[0].fail()
+        result = run_op(loop, kv.get, "k")
+        assert result.ok and result.value == b"v"
+
+    def test_lost_when_all_replicas_fail(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        run_op(loop, kv.set, "k", b"v")
+        for server in servers:
+            if server.peek("k"):
+                server.fail()
+        result = run_op(loop, kv.get, "k")
+        assert not result.ok
+
+    def test_ring_update_reroutes_new_writes(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        dead = servers[0]
+        dead.fail()
+        cluster.mark_dead(dead.name)
+        result = run_op(loop, kv.set, "any-key", b"v")
+        assert result.ok
+        # no timeout was needed: all targeted replicas were live
+        assert result.replicas_answered == result.replicas_targeted
+
+    def test_set_latency_reflects_max_of_replicas(self, cluster_world):
+        loop, _, _, kv = cluster_world
+        result = run_op(loop, kv.set, "k", b"v")
+        # 2 network RTTs in parallel: latency ~ one RTT, never near timeout
+        assert result.latency < 0.01
+
+    def test_invalid_replicas(self, cluster_world):
+        loop, servers, cluster, _ = cluster_world
+        host = Host("x", ["10.9.0.1"])
+        with pytest.raises(KvStoreError):
+            ReplicatingKvClient(host, loop, cluster, replicas=0)
+
+    def test_metrics_counters(self, cluster_world):
+        loop, _, _, kv = cluster_world
+        run_op(loop, kv.set, "k", b"v")
+        run_op(loop, kv.get, "k")
+        assert kv.metrics.counter("set_issued").value == 1
+        assert kv.metrics.counter("get_ok").value == 1

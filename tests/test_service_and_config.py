@@ -1,0 +1,108 @@
+"""YodaService wiring, TCP config validation, cost models, errors."""
+
+import pytest
+
+from repro.core.instance import YodaCostModel
+from repro.core.service import YodaService, YodaServiceConfig
+from repro.errors import (
+    AddressError,
+    AssignmentError,
+    ControllerError,
+    HttpError,
+    HttpParseError,
+    InfeasibleError,
+    KvStoreError,
+    NetworkError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    TcpError,
+)
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.net.addresses import Endpoint
+from repro.sim.events import EventLoop
+from repro.sim.random import SeededRng
+from repro.tcp.config import TcpConfig
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SimulationError, NetworkError, AddressError, TcpError, HttpError,
+        HttpParseError, KvStoreError, PolicyError, AssignmentError,
+        InfeasibleError, ControllerError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_specific_subtyping(self):
+        assert issubclass(AddressError, NetworkError)
+        assert issubclass(HttpParseError, HttpError)
+        assert issubclass(InfeasibleError, AssignmentError)
+
+
+class TestTcpConfig:
+    def test_defaults_match_paper_observations(self):
+        config = TcpConfig()
+        assert config.syn_rto == 3.0  # Ubuntu SYN timeout (Section 4.2)
+        assert config.data_rto_initial == 0.3  # Figure 12(b) retransmits
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mss": 0}, {"initial_cwnd_segments": 0},
+        {"data_rto_initial": 0}, {"syn_rto": -1}, {"max_retries": 0},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TcpConfig(**kwargs)
+
+    def test_initial_cwnd_bytes(self):
+        assert TcpConfig(mss=1000, initial_cwnd_segments=10).initial_cwnd_bytes \
+            == 10_000
+
+
+class TestCostModel:
+    def test_packet_cost_scales_with_size(self):
+        model = YodaCostModel()
+        small = Packet(src=Endpoint("1.1.1.1", 1), dst=Endpoint("2.2.2.2", 2))
+        big = small.copy(payload=b"x" * 1400)
+        assert model.packet_cost(big) > model.packet_cost(small)
+
+
+class TestYodaService:
+    @pytest.fixture
+    def service(self):
+        loop = EventLoop()
+        rng = SeededRng(4)
+        network = Network(loop, rng)
+        return YodaService(loop, network, rng, YodaServiceConfig(
+            num_instances=3, num_store_servers=2, num_muxes=2,
+        ))
+
+    def test_wiring_counts(self, service):
+        assert len(service.instances) == 3
+        assert len(service.store_servers) == 2
+        assert len(service.l4lb.muxes) == 2
+        assert len(service.controller.instances) == 3
+
+    def test_instance_names_and_ips_unique(self, service):
+        names = [i.name for i in service.instances]
+        ips = [i.ip for i in service.instances]
+        assert len(set(names)) == 3 and len(set(ips)) == 3
+
+    def test_instances_share_cluster_view(self, service):
+        views = {id(i.tcpstore.kv.cluster) for i in service.instances}
+        assert len(views) == 1
+
+    def test_new_spare_gets_fresh_identity(self, service):
+        spare = service.new_spare_instance()
+        assert spare.name not in [i.name for i in service.instances]
+        assert spare in service.controller.spares
+
+    def test_instance_by_name(self, service):
+        inst = service.instances[0]
+        assert service.instance_by_name(inst.name) is inst
+
+    def test_settle_advances_clock(self, service):
+        before = service.loop.now()
+        service.settle(2.0)
+        assert service.loop.now() == before + 2.0

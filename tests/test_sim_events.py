@@ -1,0 +1,159 @@
+"""Event loop semantics: ordering, cancellation, budgets, determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.call_later(2.0, order.append, "c")
+    loop.call_later(1.0, order.append, "b")
+    loop.call_later(0.5, order.append, "a")
+    loop.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    loop = EventLoop()
+    order = []
+    for i in range(10):
+        loop.call_at(1.0, order.append, i)
+    loop.run()
+    assert order == list(range(10))
+
+
+def test_call_soon_runs_at_current_time():
+    loop = EventLoop()
+    seen = []
+    loop.call_later(1.0, lambda: loop.call_soon(seen.append, loop.now()))
+    loop.run()
+    assert seen == [1.0]
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    times = []
+    loop.call_later(3.5, lambda: times.append(loop.now()))
+    loop.run()
+    assert times == [3.5]
+    assert loop.now() == 3.5
+
+
+def test_run_until_stops_before_later_events():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(1.0, fired.append, 1)
+    loop.call_at(5.0, fired.append, 5)
+    loop.run(until=2.0)
+    assert fired == [1]
+    assert loop.now() == 2.0
+    loop.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_even_without_events():
+    loop = EventLoop()
+    loop.run(until=7.0)
+    assert loop.now() == 7.0
+
+
+def test_run_for_is_relative():
+    loop = EventLoop()
+    loop.run(until=2.0)
+    loop.run_for(3.0)
+    assert loop.now() == 5.0
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.call_later(1.0, fired.append, 1)
+    event.cancel()
+    loop.run()
+    assert fired == []
+    assert not event.pending
+
+
+def test_cancel_inside_handler():
+    loop = EventLoop()
+    fired = []
+    later = loop.call_at(2.0, fired.append, "later")
+    loop.call_at(1.0, later.cancel)
+    loop.run()
+    assert fired == []
+
+
+def test_scheduling_in_past_raises():
+    loop = EventLoop()
+    loop.run(until=5.0)
+    with pytest.raises(SimulationError):
+        loop.call_at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.call_later(-1.0, lambda: None)
+
+
+def test_max_events_budget():
+    loop = EventLoop()
+
+    def reschedule():
+        loop.call_later(0.1, reschedule)
+
+    loop.call_later(0.1, reschedule)
+    with pytest.raises(SimulationError):
+        loop.run(max_events=100)
+
+
+def test_stop_halts_run():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(1.0, fired.append, 1)
+    loop.call_at(1.0, loop.stop)
+    loop.call_at(1.0, fired.append, 2)
+    loop.run()
+    assert fired == [1]
+    # remaining event still pending
+    assert loop.pending_count() == 1
+
+
+def test_run_not_reentrant():
+    loop = EventLoop()
+    errors = []
+
+    def nested():
+        try:
+            loop.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    loop.call_later(0.1, nested)
+    loop.run()
+    assert len(errors) == 1
+
+
+def test_run_returns_fired_count():
+    loop = EventLoop()
+    for i in range(5):
+        loop.call_later(i * 0.1, lambda: None)
+    assert loop.run() == 5
+
+
+def test_peek_time_skips_cancelled():
+    loop = EventLoop()
+    first = loop.call_at(1.0, lambda: None)
+    loop.call_at(2.0, lambda: None)
+    first.cancel()
+    assert loop.peek_time() == 2.0
+
+
+def test_event_fired_flag():
+    loop = EventLoop()
+    event = loop.call_later(0.1, lambda: None)
+    loop.run()
+    assert event.fired and not event.pending

@@ -1,0 +1,137 @@
+"""Counters, gauges, histograms, time series."""
+
+import pytest
+
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("g", initial=10.0)
+        g.add(-3)
+        g.set(5)
+        assert g.value == 5
+
+
+class TestHistogram:
+    def test_median_of_odd_count(self):
+        h = Histogram()
+        h.extend([3, 1, 2])
+        assert h.median() == 2
+
+    def test_percentile_interpolates(self):
+        h = Histogram()
+        h.extend([0, 10])
+        assert h.percentile(50) == 5.0
+        assert h.percentile(25) == 2.5
+
+    def test_percentile_bounds(self):
+        h = Histogram()
+        h.extend([5, 1, 9])
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 9
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+
+    def test_out_of_range_percentile_raises(self):
+        h = Histogram()
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_mean_min_max(self):
+        h = Histogram()
+        h.extend([2.0, 4.0, 6.0])
+        assert h.mean() == 4.0
+        assert h.min() == 2.0
+        assert h.max() == 6.0
+
+    def test_observe_keeps_percentiles_correct_after_unsorted_insert(self):
+        h = Histogram()
+        h.extend([5, 1])
+        assert h.median() == 3.0
+        h.observe(0)
+        assert h.min() == 0
+
+    def test_cdf_reaches_one(self):
+        h = Histogram()
+        h.extend(range(100))
+        cdf = h.cdf(points=10)
+        assert cdf[-1] == (99, 1.0)
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+
+    def test_fraction_above(self):
+        h = Histogram()
+        h.extend([1, 2, 3, 4])
+        assert h.fraction_above(2) == 0.5
+        assert h.fraction_above(10) == 0.0
+        assert h.fraction_above(0) == 1.0
+
+    def test_single_sample(self):
+        h = Histogram()
+        h.observe(7.0)
+        assert h.percentile(90) == 7.0
+
+
+class TestTimeSeries:
+    def test_record_and_lookup(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        ts.record(2.0, 3.0)
+        assert ts.value_at(1.5) == 2.0
+        assert ts.value_at(2.0) == 3.0
+
+    def test_rejects_out_of_order(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_value_before_first_sample_raises(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.value_at(4.0)
+
+    def test_window(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(float(t), float(t))
+        w = ts.window(2.0, 5.0)
+        assert w.times == [2.0, 3.0, 4.0]
+
+    def test_mean_and_max(self):
+        ts = TimeSeries()
+        ts.record(0, 1.0)
+        ts.record(1, 3.0)
+        assert ts.mean() == 2.0
+        assert ts.max() == 3.0
+
+
+class TestRegistry:
+    def test_same_name_returns_same_metric(self):
+        reg = MetricRegistry("node")
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.timeseries("t") is reg.timeseries("t")
+
+    def test_metrics_are_namespaced(self):
+        reg = MetricRegistry("node")
+        assert reg.counter("a").name == "node.a"

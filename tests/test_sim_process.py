@@ -1,0 +1,107 @@
+"""Timer and PeriodicTask behaviour."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.process import PeriodicTask, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now()))
+        timer.start(2.0)
+        loop.run()
+        assert fired == [2.0]
+
+    def test_restart_supersedes_previous(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now()))
+        timer.start(1.0)
+        timer.start(3.0)  # re-arm
+        loop.run()
+        assert fired == [3.0]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_armed_flag(self):
+        loop = EventLoop()
+        timer = Timer(loop, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        loop.run()
+        assert not timer.armed
+
+    def test_rearm_from_callback(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: None)
+
+        def cb():
+            fired.append(loop.now())
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer._callback = cb
+        timer.start(1.0)
+        loop.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestPeriodicTask:
+    def test_fires_every_interval(self):
+        loop = EventLoop()
+        ticks = []
+        task = PeriodicTask(loop, 1.0, lambda: ticks.append(loop.now()))
+        task.start()
+        loop.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_fire_now(self):
+        loop = EventLoop()
+        ticks = []
+        task = PeriodicTask(loop, 1.0, lambda: ticks.append(loop.now()))
+        task.start(fire_now=True)
+        loop.run(until=1.5)
+        assert ticks == [0.0, 1.0]
+
+    def test_stop(self):
+        loop = EventLoop()
+        ticks = []
+        task = PeriodicTask(loop, 1.0, lambda: ticks.append(loop.now()))
+        task.start()
+        loop.call_at(2.5, task.stop)
+        loop.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not task.running
+
+    def test_stop_from_within_callback(self):
+        loop = EventLoop()
+        ticks = []
+        task = PeriodicTask(loop, 1.0, lambda: (ticks.append(1), task.stop()))
+        task.start()
+        loop.run(until=5.0)
+        assert ticks == [1]
+
+    def test_double_start_is_idempotent(self):
+        loop = EventLoop()
+        ticks = []
+        task = PeriodicTask(loop, 1.0, lambda: ticks.append(loop.now()))
+        task.start()
+        task.start()
+        loop.run(until=2.5)
+        assert ticks == [1.0, 2.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(EventLoop(), 0.0, lambda: None)

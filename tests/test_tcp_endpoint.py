@@ -1,0 +1,292 @@
+"""TCP state machine: handshake, transfer, loss, teardown, resets, timers."""
+
+import pytest
+
+from repro.net.addresses import Endpoint
+from repro.net.host import Host
+from repro.net.links import FixedLatency
+from repro.net.network import Network
+from repro.sim.events import EventLoop
+from repro.sim.random import SeededRng
+from repro.tcp.config import TcpConfig
+from repro.tcp.endpoint import ConnectionHandler, TcpStack
+from repro.tcp.state import TcpState
+
+
+class Recorder(ConnectionHandler):
+    def __init__(self):
+        self.data = bytearray()
+        self.events = []
+
+    def on_connected(self, conn):
+        self.events.append("connected")
+
+    def on_data(self, conn, data):
+        self.data.extend(data)
+
+    def on_remote_close(self, conn):
+        self.events.append("remote_close")
+
+    def on_closed(self, conn):
+        self.events.append("closed")
+
+    def on_error(self, conn, reason):
+        self.events.append(f"error:{reason}")
+
+
+class EchoServer(Recorder):
+    """Closes after echoing ``expect`` bytes back."""
+
+    def __init__(self, expect):
+        super().__init__()
+        self.expect = expect
+
+    def on_data(self, conn, data):
+        super().on_data(conn, data)
+        if len(self.data) >= self.expect:
+            conn.send(bytes(self.data))
+            conn.close()
+
+
+def make_pair(loss=0.0, config=None):
+    loop = EventLoop()
+    net = Network(loop, SeededRng(9), default_latency=FixedLatency(0.001))
+    if loss:
+        net.set_loss_rate(loss)
+    a = net.attach(Host("a", ["10.0.0.1"]))
+    b = net.attach(Host("b", ["10.0.0.2"]))
+    return loop, net, TcpStack(a, loop, config), TcpStack(b, loop, config)
+
+
+class TestHandshake:
+    def test_three_way_handshake(self):
+        loop, _, cs, ss = make_pair()
+        server_side = Recorder()
+        ss.listen(80, lambda c: server_side)
+        client_side = Recorder()
+        conn = cs.connect(Endpoint("10.0.0.2", 80), client_side)
+        loop.run(until=1.0)
+        assert conn.state is TcpState.ESTABLISHED
+        assert "connected" in client_side.events
+        assert "connected" in server_side.events
+
+    def test_syn_to_closed_port_gets_reset(self):
+        loop, _, cs, _ = make_pair()
+        handler = Recorder()
+        cs.connect(Endpoint("10.0.0.2", 81), handler)
+        loop.run(until=1.0)
+        assert "error:reset" in handler.events
+
+    def test_syn_retransmits_when_lost_then_connects(self):
+        config = TcpConfig(syn_rto=1.0)
+        loop, net, cs, ss = make_pair(config=config)
+        ss.listen(80, lambda c: Recorder())
+        handler = Recorder()
+        net.set_loss_rate(0.9999)  # drop (almost) everything initially
+        conn = cs.connect(Endpoint("10.0.0.2", 80), handler)
+        loop.run(until=0.5)
+        net.set_loss_rate(0.0)
+        loop.run(until=5.0)
+        assert conn.state is TcpState.ESTABLISHED
+        assert conn.retransmit_count >= 1  # the lost SYN was retransmitted
+
+    def test_connect_gives_up_after_max_retries(self):
+        config = TcpConfig(syn_rto=0.1, max_retries=2)
+        loop, net, cs, _ = make_pair(config=config)
+        net.set_loss_rate(0.9999)
+        handler = Recorder()
+        cs.connect(Endpoint("10.0.0.2", 80), handler)
+        loop.run(until=60.0)
+        assert any(e.startswith("error") for e in handler.events)
+
+    def test_duplicate_syn_gets_same_synack(self):
+        # server in SYN_RCVD re-answers a duplicated SYN
+        loop, net, cs, ss = make_pair()
+        ss.listen(80, lambda c: Recorder())
+        handler = Recorder()
+        conn = cs.connect(Endpoint("10.0.0.2", 80), handler)
+        loop.run(until=2.0)
+        assert conn.established
+
+
+class TestTransfer:
+    def test_small_payload(self):
+        loop, _, cs, ss = make_pair()
+        ss.listen(80, lambda c: EchoServer(5))
+        client = Recorder()
+
+        class Send(Recorder):
+            def on_connected(self, conn):
+                conn.send(b"hello")
+
+            def on_data(self, conn, data):
+                client.data.extend(data)
+
+            def on_remote_close(self, conn):
+                conn.close()
+
+        cs.connect(Endpoint("10.0.0.2", 80), Send())
+        loop.run(until=10)
+        assert bytes(client.data) == b"hello"
+
+    def test_multi_segment_transfer_preserves_bytes(self):
+        loop, _, cs, ss = make_pair()
+        blob = bytes(range(256)) * 1000  # 256 KB
+        server = Recorder()
+        ss.listen(80, lambda c: server)
+
+        class Send(ConnectionHandler):
+            def on_connected(self, conn):
+                conn.send(blob)
+                conn.close()
+
+        cs.connect(Endpoint("10.0.0.2", 80), Send())
+        loop.run(until=30)
+        assert bytes(server.data) == blob
+
+    @pytest.mark.parametrize("loss", [0.02, 0.1])
+    def test_transfer_survives_loss(self, loss):
+        loop, _, cs, ss = make_pair(loss=loss)
+        blob = b"payload!" * 8000  # 64 KB
+        server = Recorder()
+        ss.listen(80, lambda c: server)
+
+        class Send(ConnectionHandler):
+            def on_connected(self, conn):
+                conn.send(blob)
+                conn.close()
+
+        cs.connect(Endpoint("10.0.0.2", 80), Send())
+        loop.run(until=300)
+        assert bytes(server.data) == blob
+
+    def test_bidirectional_transfer(self):
+        loop, _, cs, ss = make_pair()
+        ss.listen(80, lambda c: EchoServer(4000))
+        got = Recorder()
+
+        class Send(ConnectionHandler):
+            def on_connected(self, conn):
+                conn.send(b"ab" * 2000)
+
+            def on_data(self, conn, data):
+                got.data.extend(data)
+
+            def on_remote_close(self, conn):
+                conn.close()
+
+        cs.connect(Endpoint("10.0.0.2", 80), Send())
+        loop.run(until=30)
+        assert bytes(got.data) == b"ab" * 2000
+
+    def test_send_before_established_is_queued(self):
+        loop, _, cs, ss = make_pair()
+        server = Recorder()
+        ss.listen(80, lambda c: server)
+        conn = cs.connect(Endpoint("10.0.0.2", 80), Recorder())
+        conn.send(b"early")  # still SYN_SENT
+        loop.run(until=5)
+        assert bytes(server.data) == b"early"
+
+
+class TestTeardown:
+    def test_clean_close_both_sides_reach_closed(self):
+        loop, _, cs, ss = make_pair()
+        server = Recorder()
+        ss.listen(80, lambda c: server)
+
+        class Send(Recorder):
+            def on_connected(self, conn):
+                conn.send(b"x")
+                conn.close()
+
+        handler = Send()
+        conn = cs.connect(Endpoint("10.0.0.2", 80), handler)
+        loop.run(until=5)
+        # server saw remote close; close its side too
+        server_conns = list(ss.connections().values())
+        for sc in server_conns:
+            if sc.state.can_send:
+                sc.close()
+        loop.run(until=30)
+        assert not cs.connections()
+        assert not ss.connections()
+
+    def test_send_after_close_raises(self):
+        from repro.errors import TcpError
+
+        loop, _, cs, ss = make_pair()
+        ss.listen(80, lambda c: Recorder())
+        conn = cs.connect(Endpoint("10.0.0.2", 80), Recorder())
+        loop.run(until=1)
+        conn.close()
+        with pytest.raises(TcpError):
+            conn.send(b"nope")
+
+    def test_abort_sends_rst_to_peer(self):
+        loop, _, cs, ss = make_pair()
+        server = Recorder()
+        ss.listen(80, lambda c: server)
+        conn = cs.connect(Endpoint("10.0.0.2", 80), Recorder())
+        loop.run(until=1)
+        conn.abort("test")
+        loop.run(until=2)
+        assert "error:reset" in server.events
+
+    def test_peer_crash_leads_to_timeout_error(self):
+        config = TcpConfig(data_rto_initial=0.1, max_retries=3)
+        loop, net, cs, ss = make_pair(config=config)
+        server = Recorder()
+        ss.listen(80, lambda c: server)
+
+        class Send(Recorder):
+            def on_connected(self, conn):
+                conn.send(b"x" * 5000)
+
+        handler = Send()
+        cs.connect(Endpoint("10.0.0.2", 80), handler)
+        loop.run(until=0.5)
+        ss.host.fail()  # crash the server VM mid-stream
+
+        class More(ConnectionHandler):
+            pass
+
+        # client keeps sending; retransmissions exhaust
+        for conn in cs.connections().values():
+            conn.send(b"y" * 5000)
+        loop.run(until=120)
+        assert any(e == "error:timeout" for e in handler.events)
+
+
+class TestStack:
+    def test_ephemeral_ports_unique_across_live_conns(self):
+        loop, _, cs, ss = make_pair()
+        ss.listen(80, lambda c: Recorder())
+        conns = [cs.connect(Endpoint("10.0.0.2", 80), Recorder())
+                 for _ in range(50)]
+        ports = {c.local.port for c in conns}
+        assert len(ports) == 50
+
+    def test_listen_twice_rejected(self):
+        from repro.errors import TcpError
+
+        loop, _, _, ss = make_pair()
+        ss.listen(80, lambda c: Recorder())
+        with pytest.raises(TcpError):
+            ss.listen(80, lambda c: Recorder())
+
+    def test_connection_bookkeeping_counters(self):
+        loop, _, cs, ss = make_pair()
+        ss.listen(80, lambda c: EchoServer(3))
+
+        class Send(ConnectionHandler):
+            def on_connected(self, conn):
+                conn.send(b"abc")
+
+            def on_remote_close(self, conn):
+                conn.close()
+
+        conn = cs.connect(Endpoint("10.0.0.2", 80), Send())
+        loop.run(until=10)
+        assert conn.bytes_sent == 3
+        assert conn.bytes_received == 3

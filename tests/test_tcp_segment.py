@@ -1,0 +1,69 @@
+"""Sequence-space arithmetic, including wraparound (property-based)."""
+
+from hypothesis import given, strategies as st
+
+from repro.tcp.segment import (
+    SEQ_MOD, seq_add, seq_between, seq_diff, seq_ge, seq_gt, seq_le, seq_lt,
+)
+
+seqs = st.integers(0, SEQ_MOD - 1)
+small = st.integers(-(2**30), 2**30)
+
+
+def test_add_wraps():
+    assert seq_add(SEQ_MOD - 1, 1) == 0
+    assert seq_add(0, -1) == SEQ_MOD - 1
+
+
+def test_diff_simple():
+    assert seq_diff(10, 5) == 5
+    assert seq_diff(5, 10) == -5
+
+
+def test_diff_across_wrap():
+    assert seq_diff(5, SEQ_MOD - 5) == 10
+    assert seq_diff(SEQ_MOD - 5, 5) == -10
+
+
+def test_comparisons_across_wrap():
+    a = SEQ_MOD - 10
+    b = 10  # "after" a in sequence space
+    assert seq_lt(a, b)
+    assert seq_gt(b, a)
+    assert seq_le(a, a) and seq_ge(a, a)
+
+
+def test_between():
+    assert seq_between(10, 15, 20)
+    assert seq_between(10, 10, 20)
+    assert not seq_between(10, 20, 20)
+    # straddling the wrap point
+    assert seq_between(SEQ_MOD - 5, 2, 10)
+    assert not seq_between(SEQ_MOD - 5, 20, 10)
+
+
+@given(seqs, small)
+def test_add_then_diff_roundtrip(a, d):
+    assert seq_diff(seq_add(a, d), a) == d
+
+
+@given(seqs, seqs)
+def test_diff_antisymmetric(a, b):
+    d = seq_diff(a, b)
+    if d != -(1 << 31):  # the single ambiguous midpoint
+        assert seq_diff(b, a) == -d
+
+
+@given(seqs)
+def test_reflexive(a):
+    assert seq_diff(a, a) == 0
+    assert seq_le(a, a)
+    assert not seq_lt(a, a)
+
+
+@given(seqs, st.integers(1, 2**30))
+def test_strict_order(a, d):
+    b = seq_add(a, d)
+    assert seq_lt(a, b)
+    assert seq_gt(b, a)
+    assert not seq_lt(b, a)
