@@ -1,0 +1,62 @@
+"""Chaos engine: declarative fault injection + online invariant monitors.
+
+Three layers:
+
+- :mod:`repro.chaos.faults` -- fault specs (partitions, asymmetric loss,
+  duplication, latency spikes, crashes, flapping, gray CPU slowdowns,
+  probe loss) and their application to a :class:`Testbed`.
+- :mod:`repro.chaos.invariants` -- an online monitor that taps the packet
+  trace and audits the paper's Section 4.2 guarantees while a run executes.
+- :mod:`repro.chaos.scenario` -- the engine that compiles a seeded fault
+  timeline onto the event loop and runs it against YODA and the HAProxy
+  baseline, plus :mod:`repro.chaos.library`'s built-in scenario suite.
+
+Run from the command line::
+
+    python -m repro chaos list
+    python -m repro chaos store-partition
+    python -m repro chaos all --seed 7
+"""
+
+from repro.chaos.faults import (
+    FaultSpec,
+    crash,
+    duplicate,
+    flap,
+    latency_spike,
+    loss,
+    partition,
+    probe_loss,
+    slow_cpu,
+)
+from repro.chaos.invariants import InvariantMonitor, Verdict, Violation
+from repro.chaos.library import BUILTIN_SCENARIOS, get_scenario
+from repro.chaos.scenario import (
+    Scenario,
+    ScenarioEngine,
+    ScenarioOutcome,
+    run_contrast,
+    run_scenario,
+)
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "FaultSpec",
+    "InvariantMonitor",
+    "Scenario",
+    "ScenarioEngine",
+    "ScenarioOutcome",
+    "Verdict",
+    "Violation",
+    "crash",
+    "duplicate",
+    "flap",
+    "get_scenario",
+    "latency_spike",
+    "loss",
+    "partition",
+    "probe_loss",
+    "run_contrast",
+    "run_scenario",
+    "slow_cpu",
+]

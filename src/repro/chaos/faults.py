@@ -1,0 +1,221 @@
+"""Declarative fault primitives and their application to a testbed.
+
+A :class:`FaultSpec` is pure data: what happens, when (relative to load
+start), to whom, and for how long.  Targets are *selectors* resolved at
+fire time, so "crash the instance currently serving the most flows" is
+expressible without knowing instance names up front:
+
+- ``"lb:serving"``   -- the busiest live L7 LB instance at fire time
+- ``"lb:<i>"``       -- the i-th L7 LB instance (YODA or HAProxy)
+- ``"store:<i>"``    -- the i-th TCPStore server (no-op for HAProxy beds)
+- ``"backend:<i>"``  -- the i-th backend web server
+- anything else      -- a raw host name or site name (path endpoints only)
+
+Path faults (``loss``, ``duplicate``, ``latency_spike``, ``partition``)
+address src/dst by the same selectors, resolved to host names (or passed
+through as site names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.  ``at`` is seconds after load start; a
+    ``duration`` makes the fault auto-revert (heal, recover, speed up)."""
+
+    kind: str  # partition|loss|duplicate|latency|crash|flap|slow_cpu|probe_loss
+    at: float
+    duration: Optional[float] = None
+    target: Optional[str] = None  # host-level faults
+    src: Optional[str] = None  # path faults
+    dst: Optional[str] = None
+    rate: float = 0.0
+    extra: float = 0.0  # latency spike seconds
+    factor: float = 1.0  # CPU slowdown multiplier
+    symmetric: bool = True
+    period: float = 1.0  # flap cycle length (down half, up half)
+    count: int = 2  # flap cycles
+
+    def describe(self) -> str:
+        if self.target is not None:
+            where = self.target
+        elif self.src is not None:
+            where = f"{self.src}->{self.dst}"
+        else:
+            where = "controller"  # probe_loss has no single victim
+        extras = {
+            "loss": f" rate={self.rate}",
+            "duplicate": f" rate={self.rate}",
+            "latency": f" extra={self.extra}s",
+            "slow_cpu": f" x{self.factor}",
+            "probe_loss": f" rate={self.rate}",
+            "flap": f" period={self.period}s count={self.count}",
+        }.get(self.kind, "")
+        window = f" for {self.duration}s" if self.duration else ""
+        return f"t+{self.at}s {self.kind} {where}{extras}{window}"
+
+
+# -- declarative constructors -------------------------------------------------
+def partition(at: float, a: str, b: str, duration: Optional[float] = None,
+              symmetric: bool = True) -> FaultSpec:
+    return FaultSpec(kind="partition", at=at, src=a, dst=b,
+                     duration=duration, symmetric=symmetric)
+
+
+def loss(at: float, rate: float, src: str, dst: str,
+         duration: Optional[float] = None) -> FaultSpec:
+    return FaultSpec(kind="loss", at=at, rate=rate, src=src, dst=dst,
+                     duration=duration)
+
+
+def duplicate(at: float, rate: float, src: str, dst: str,
+              duration: Optional[float] = None) -> FaultSpec:
+    return FaultSpec(kind="duplicate", at=at, rate=rate, src=src, dst=dst,
+                     duration=duration)
+
+
+def latency_spike(at: float, extra: float, src: str, dst: str,
+                  duration: Optional[float] = None) -> FaultSpec:
+    return FaultSpec(kind="latency", at=at, extra=extra, src=src, dst=dst,
+                     duration=duration)
+
+
+def crash(at: float, target: str, duration: Optional[float] = None) -> FaultSpec:
+    return FaultSpec(kind="crash", at=at, target=target, duration=duration)
+
+
+def flap(at: float, target: str, period: float = 1.0, count: int = 2) -> FaultSpec:
+    return FaultSpec(kind="flap", at=at, target=target, period=period, count=count)
+
+
+def slow_cpu(at: float, target: str, factor: float,
+             duration: Optional[float] = None) -> FaultSpec:
+    return FaultSpec(kind="slow_cpu", at=at, target=target, factor=factor,
+                     duration=duration)
+
+
+def probe_loss(at: float, rate: float, duration: Optional[float] = None) -> FaultSpec:
+    return FaultSpec(kind="probe_loss", at=at, rate=rate, duration=duration)
+
+
+# -- target resolution --------------------------------------------------------
+def resolve_target(bed, selector: str):
+    """Resolve a host-level selector to an object with fail()/recover()
+    (and .cpu for slowdowns).  Returns None when the selector has no
+    equivalent in this deployment (e.g. a store on an HAProxy bed)."""
+    if ":" not in selector:
+        # raw backend/server name
+        obj = bed.backends.get(selector)
+        if obj is not None:
+            return obj
+        raise SimulationError(f"unknown fault target {selector!r}")
+    kind, _, arg = selector.partition(":")
+    if kind == "lb":
+        pool = bed.lb_instances()
+        if arg == "serving":
+            serving = bed.serving_lb_instances()
+            return serving[0] if serving else (pool[0] if pool else None)
+        return pool[int(arg)] if int(arg) < len(pool) else None
+    if kind == "store":
+        if bed.yoda is None:
+            return None  # HAProxy keeps no flow store; fault is vacuous
+        servers = bed.yoda.store_servers
+        return servers[int(arg)] if int(arg) < len(servers) else None
+    if kind == "backend":
+        return bed.backends.get(f"srv-{arg}")
+    raise SimulationError(f"unknown fault target {selector!r}")
+
+
+def resolve_path_endpoint(bed, selector: str) -> Optional[str]:
+    """Resolve a path endpoint selector to a host name; site names and
+    raw host names pass through untouched."""
+    if ":" not in selector:
+        return selector
+    obj = resolve_target(bed, selector)
+    if obj is None:
+        return None
+    return obj.host.name
+
+
+# -- application --------------------------------------------------------------
+@dataclass
+class AppliedFault:
+    """What a FaultSpec resolved to at fire time."""
+
+    spec: FaultSpec
+    revert: Optional[Callable[[], None]] = None
+    target_name: Optional[str] = None  # resolved host name (host-level faults)
+
+
+def apply_fault(bed, spec: FaultSpec) -> AppliedFault:
+    """Apply a fault now.  The returned record carries the revert callable
+    (None when self-terminating or vacuous in this deployment) and the
+    resolved target so callers know *which* host a selector picked."""
+    net = bed.network
+    if spec.kind == "partition":
+        a = resolve_path_endpoint(bed, spec.src)
+        b = resolve_path_endpoint(bed, spec.dst)
+        if a is None or b is None:
+            return AppliedFault(spec)
+        net.partition(a, b, symmetric=spec.symmetric)
+        return AppliedFault(spec, revert=lambda: net.heal(a, b))
+    if spec.kind in ("loss", "duplicate", "latency"):
+        a = resolve_path_endpoint(bed, spec.src)
+        b = resolve_path_endpoint(bed, spec.dst)
+        if a is None or b is None:
+            return AppliedFault(spec)
+        if spec.kind == "loss":
+            net.set_loss_rate(spec.rate, src=a, dst=b)
+            return AppliedFault(
+                spec, revert=lambda: net.set_loss_rate(0.0, src=a, dst=b))
+        if spec.kind == "duplicate":
+            net.set_duplicate_rate(spec.rate, src=a, dst=b)
+            return AppliedFault(
+                spec, revert=lambda: net.set_duplicate_rate(0.0, src=a, dst=b))
+        net.set_extra_latency(spec.extra, src=a, dst=b)
+        return AppliedFault(
+            spec, revert=lambda: net.set_extra_latency(0.0, src=a, dst=b))
+    if spec.kind == "crash":
+        target = resolve_target(bed, spec.target)
+        if target is None:
+            return AppliedFault(spec)
+        target.fail()
+        return AppliedFault(spec, revert=target.recover,
+                            target_name=target.host.name)
+    if spec.kind == "flap":
+        target = resolve_target(bed, spec.target)
+        if target is None:
+            return AppliedFault(spec)
+        _run_flap(bed, target, spec.period, spec.count)
+        # each flap cycle ends recovered; nothing to revert
+        return AppliedFault(spec, target_name=target.host.name)
+    if spec.kind == "slow_cpu":
+        target = resolve_target(bed, spec.target)
+        cpu = getattr(target, "cpu", None)
+        if cpu is None:
+            return AppliedFault(spec)
+        cpu.set_slowdown(spec.factor)
+        return AppliedFault(spec, revert=lambda: cpu.set_slowdown(1.0),
+                            target_name=target.host.name)
+    if spec.kind == "probe_loss":
+        if bed.yoda is None:
+            return AppliedFault(spec)  # HAProxy checks have no loss hook
+        controller = bed.yoda.controller
+        controller.probe_loss_rate = spec.rate
+        return AppliedFault(
+            spec, revert=lambda: setattr(controller, "probe_loss_rate", 0.0))
+    raise SimulationError(f"unknown fault kind {spec.kind!r}")
+
+
+def _run_flap(bed, target, period: float, count: int) -> None:
+    """count cycles of (down for period/2, up for period/2)."""
+    half = period / 2.0
+    for cycle in range(count):
+        bed.loop.call_later(cycle * period, target.fail)
+        bed.loop.call_later(cycle * period + half, target.recover)

@@ -1,0 +1,285 @@
+"""Online invariant monitors for chaos runs.
+
+:class:`InvariantMonitor` is a packet-trace tap (``network.add_trace``)
+that audits the paper's Section 4.2 guarantees *while the run executes*:
+
+- **storage-before-ack**: a YODA instance never emits the client-facing
+  SYN-ACK before the client record is durable in TCPStore (storage-a),
+  and never ACKs the backend's SYN-ACK before the server record and the
+  server-side index are durable (storage-b).  Checked omnisciently at
+  the instant the packet hits the wire, by peeking every live store.
+- **acked-byte-loss**: once the LB has ACKed request bytes, the flow must
+  never be reset toward the client -- acknowledged data may not vanish.
+- **flow-conservation**: every flow admitted during the load phase ends
+  in an orderly FIN exchange with response bytes delivered (after the
+  drain period); nothing silently evaporates.
+- **snat-leak**: after the run quiesces, no live instance holds SNAT
+  ports that no flow owns.
+
+The monitor also folds every trace record into a SHA-256 digest, which is
+how scenario determinism (same seed -> byte-identical packet schedule) is
+asserted cheaply.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.flowstate import client_key
+from repro.sim.tracing import TraceRecord
+from repro.tcp.segment import seq_diff
+
+MAX_VIOLATIONS_KEPT = 50  # per invariant; beyond this only the count grows
+
+
+@dataclass
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str
+    time: float
+    flow: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:.3f}s] {self.invariant} {self.flow}: {self.detail}"
+
+
+@dataclass
+class Verdict:
+    """Final judgement for one invariant."""
+
+    invariant: str
+    ok: bool
+    checked: int
+    violations: List[Violation] = field(default_factory=list)
+    violation_count: int = 0
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else f"FAIL ({self.violation_count})"
+        return f"{self.invariant}: {status} ({self.checked} checks)"
+
+
+class _FlowAudit:
+    """Book-keeping for one client-facing flow (client ep, vip ep)."""
+
+    __slots__ = (
+        "opened_at", "client_isn", "synack_seen", "acked_req_bytes",
+        "resp_bytes", "fin_from_lb", "fin_from_client", "rst_from_lb",
+        "last_activity",
+    )
+
+    def __init__(self, opened_at: float):
+        self.opened_at = opened_at
+        self.client_isn: Optional[int] = None
+        self.synack_seen = False
+        self.acked_req_bytes = 0
+        self.resp_bytes = 0
+        self.fin_from_lb = False
+        self.fin_from_client = False
+        self.rst_from_lb = False
+        self.last_activity = opened_at
+
+
+class InvariantMonitor:
+    """Attach with ``bed.network.add_trace(monitor)``; call
+    :meth:`finalize` after the run drains to collect verdicts."""
+
+    def __init__(self, bed, check_storage: Optional[bool] = None):
+        self.bed = bed
+        # storage/SNAT invariants only exist for YODA deployments
+        self.check_storage = (bed.yoda is not None if check_storage is None
+                              else check_storage)
+        self.vips: Set[str] = {bed.vip}
+        self._vip_client_eps = {f"{vip}:80" for vip in self.vips}
+        self.flows: Dict[str, _FlowAudit] = {}
+        self._server_pairs_synned: Set[str] = set()
+        self._server_pairs_checked: Set[str] = set()
+        self.violations: Dict[str, List[Violation]] = {}
+        self.violation_counts: Dict[str, int] = {}
+        self.checks: Dict[str, int] = {
+            "storage-before-ack": 0,
+            "acked-byte-loss": 0,
+            "flow-conservation": 0,
+            "snat-leak": 0,
+        }
+        self._digest = hashlib.sha256()
+        self.records_seen = 0
+
+    # ------------------------------------------------------------ trace tap --
+    def record(self, rec: TraceRecord) -> None:
+        self.records_seen += 1
+        self._digest.update(
+            f"{rec.time:.9f}|{rec.point}|{rec.direction}|{rec.src}|{rec.dst}|"
+            f"{rec.flags}|{rec.seq}|{rec.ack}|{rec.payload_len}|{rec.dropped}"
+            .encode()
+        )
+        # Audit the wire-tx stream only: each send appears exactly once
+        # there (the mux -> instance hop is an in-DC deliver, not a wire
+        # transmission, so no packet is double-counted).
+        if rec.point != "wire" or rec.direction != "tx":
+            return
+        if rec.dst in self._vip_client_eps:
+            self._on_client_to_lb(rec)
+        elif rec.src in self._vip_client_eps:
+            self._on_lb_to_client(rec)
+        elif self.check_storage and self._is_vip_snat(rec.src):
+            self._on_lb_to_server(rec)
+
+    def _is_vip_snat(self, ep: str) -> bool:
+        ip, _, port = ep.rpartition(":")
+        return ip in self.vips and port != "80"
+
+    # ----------------------------------------------------- client-side audit --
+    def _on_client_to_lb(self, rec: TraceRecord) -> None:
+        flow_id = f"{rec.src}>{rec.dst}"
+        audit = self.flows.get(flow_id)
+        if audit is None:
+            audit = self.flows[flow_id] = _FlowAudit(rec.time)
+        audit.last_activity = rec.time
+        if "S" in rec.flags and audit.client_isn is None:
+            audit.client_isn = rec.seq
+        if "F" in rec.flags:
+            audit.fin_from_client = True
+
+    def _on_lb_to_client(self, rec: TraceRecord) -> None:
+        flow_id = f"{rec.dst}>{rec.src}"
+        audit = self.flows.get(flow_id)
+        if audit is None:
+            # LB spoke first?  Only possible for stray RSTs; track anyway.
+            audit = self.flows[flow_id] = _FlowAudit(rec.time)
+        audit.last_activity = rec.time
+        if "S" in rec.flags and "." in rec.flags:  # tcpdump style: ACK is "."
+            # SYN-ACK on the wire: storage-a must already be durable.
+            if self.check_storage and not audit.fin_from_lb:
+                self.checks["storage-before-ack"] += 1
+                key = client_key(rec.dst, rec.src)
+                if not self._stored_somewhere(key):
+                    self._violate(
+                        "storage-before-ack", rec.time, flow_id,
+                        f"SYN-ACK sent but {key!r} is on no live store",
+                    )
+            audit.synack_seen = True
+        if "R" in rec.flags:
+            audit.rst_from_lb = True
+            if audit.acked_req_bytes > 0:
+                self._violate(
+                    "acked-byte-loss", rec.time, flow_id,
+                    f"RST to client after ACKing {audit.acked_req_bytes} "
+                    f"request bytes",
+                )
+            return
+        if "F" in rec.flags:
+            audit.fin_from_lb = True
+        if not rec.dropped:
+            audit.resp_bytes += rec.payload_len
+        if "." in rec.flags and audit.client_isn is not None:
+            self.checks["acked-byte-loss"] += 1
+            acked = seq_diff(rec.ack, (audit.client_isn + 1) & 0xFFFFFFFF)
+            if acked > audit.acked_req_bytes:
+                audit.acked_req_bytes = acked
+
+    # ----------------------------------------------------- server-side audit --
+    def _on_lb_to_server(self, rec: TraceRecord) -> None:
+        pair = f"{rec.src}>{rec.dst}"
+        if "S" in rec.flags:
+            # A new backend connection attempt resets this pair's audit
+            # (backend switches reuse the SNAT port against a new server).
+            self._server_pairs_synned.add(pair)
+            self._server_pairs_checked.discard(pair)
+            return
+        if ("." in rec.flags and "R" not in rec.flags and "F" not in rec.flags
+                and pair in self._server_pairs_synned
+                and pair not in self._server_pairs_checked):
+            # First ACK completing the backend handshake: storage-b (the
+            # updated client record + server-side index) must be durable.
+            self._server_pairs_checked.add(pair)
+            self.checks["storage-before-ack"] += 1
+            vip_ip, _, snat_port = rec.src.rpartition(":")
+            key = f"yoda:s:{vip_ip}:{snat_port}:{rec.dst}"
+            if not self._stored_somewhere(key):
+                self._violate(
+                    "storage-before-ack", rec.time, pair,
+                    f"backend handshake ACK sent but {key!r} is on no "
+                    f"live store",
+                )
+
+    # ------------------------------------------------------------- helpers --
+    def _stored_somewhere(self, key: str) -> bool:
+        """Omniscient peek: is the key durable on any store whose VM is
+        up?  (A partitioned-but-running store still holds its data.)"""
+        for server in self.bed.yoda.store_servers:
+            if not server.host.failed and server.peek(key) is not None:
+                return True
+        return False
+
+    def _violate(self, invariant: str, time: float, flow: str, detail: str) -> None:
+        self.violation_counts[invariant] = self.violation_counts.get(invariant, 0) + 1
+        bucket = self.violations.setdefault(invariant, [])
+        if len(bucket) < MAX_VIOLATIONS_KEPT:
+            bucket.append(Violation(invariant, time, flow, detail))
+
+    # ------------------------------------------------------------- finalize --
+    def finalize(self, strict_before: Optional[float] = None,
+                 exclude_instances: Iterable[str] = ()) -> List[Verdict]:
+        """Run end-of-run audits and return one verdict per invariant.
+
+        Args:
+            strict_before: flows opened before this loop-time must have
+                completed cleanly (FINs both ways + response bytes); later
+                flows may legitimately still be in flight.  None skips the
+                conservation sweep.
+            exclude_instances: host names exempt from the SNAT audit --
+                instances the scenario crashed keep their port bookkeeping
+                frozen on purpose, so a recovered VM never reissues a port
+                a migrated flow still occupies.
+        """
+        now = self.bed.loop.now()
+        if strict_before is not None:
+            for flow_id, audit in self.flows.items():
+                if audit.client_isn is None or audit.opened_at >= strict_before:
+                    continue
+                self.checks["flow-conservation"] += 1
+                if audit.rst_from_lb:
+                    continue  # already reported under acked-byte-loss
+                clean = (audit.fin_from_lb and audit.fin_from_client
+                         and audit.resp_bytes > 0)
+                if not clean:
+                    self._violate(
+                        "flow-conservation", now, flow_id,
+                        f"flow opened at {audit.opened_at:.3f}s never "
+                        f"finished (synack={audit.synack_seen} "
+                        f"resp_bytes={audit.resp_bytes} "
+                        f"fin_lb={audit.fin_from_lb} "
+                        f"fin_client={audit.fin_from_client})",
+                    )
+        if self.check_storage:
+            excluded = set(exclude_instances)
+            for instance in self.bed.yoda.instances:
+                if instance.host.failed or instance.name in excluded:
+                    continue
+                self.checks["snat-leak"] += 1
+                leaked = instance.snat_ports_leaked()
+                for vip, ports in leaked.items():
+                    self._violate(
+                        "snat-leak", now, instance.name,
+                        f"{len(ports)} SNAT ports leaked for {vip}: "
+                        f"{sorted(ports)[:8]}",
+                    )
+        out = []
+        for invariant, checked in self.checks.items():
+            count = self.violation_counts.get(invariant, 0)
+            out.append(Verdict(
+                invariant=invariant,
+                ok=count == 0,
+                checked=checked,
+                violations=list(self.violations.get(invariant, [])),
+                violation_count=count,
+            ))
+        return out
+
+    def digest(self) -> str:
+        """SHA-256 over every trace record seen (determinism witness)."""
+        return self._digest.hexdigest()

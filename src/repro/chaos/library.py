@@ -1,0 +1,153 @@
+"""Built-in chaos scenario suite.
+
+Every scenario pairs its distinctive fault with a permanent crash of the
+LB instance that is busiest at that moment ("lb:serving").  The crash is
+what separates the two tiers: YODA recovers the orphaned flows through
+TCPStore, while HAProxy's locally-held flow state dies with the VM and
+the pinned connections break (the paper's Figure 12 / Table 1 contrast).
+The distinctive fault then stresses a different layer each time --
+stores, paths, health checking, or the CPU itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.chaos.faults import (
+    crash,
+    duplicate,
+    flap,
+    latency_spike,
+    loss,
+    partition,
+    probe_loss,
+    slow_cpu,
+)
+from repro.chaos.scenario import Scenario
+
+BUILTIN_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> Scenario:
+    BUILTIN_SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+_register(Scenario(
+    name="store-partition",
+    description=(
+        "One TCPStore server is partitioned from the datacenter (its VM "
+        "stays up, so the omniscient monitor still likes it); kv clients "
+        "must detect the silence themselves, mark it dead and quarantine "
+        "it.  A serving instance then crashes and recovery must succeed "
+        "against the shrunken ring."
+    ),
+    faults=[
+        partition(1.0, "store:0", "dc", duration=6.0),
+        crash(3.0, "lb:serving"),
+    ],
+))
+
+_register(Scenario(
+    name="asym-loss",
+    description=(
+        "Lossy return path (10% dc->internet) plus 5% duplication on the "
+        "forward path while a serving instance crashes: TCP absorbs the "
+        "packet-level chaos and TCPStore absorbs the instance loss."
+    ),
+    faults=[
+        loss(1.0, 0.10, "dc", "internet", duration=6.0),
+        duplicate(1.0, 0.05, "internet", "dc", duration=6.0),
+        crash(3.0, "lb:serving"),
+    ],
+    # 10% loss stretches transfers (RTO backoff); give pages and the
+    # drain room so slow is not misread as broken
+    http_timeout=20.0,
+    drain=12.0,
+))
+
+_register(Scenario(
+    name="store-death-midhandshake",
+    description=(
+        "A store replica dies right as the first wave of handshakes is "
+        "persisting storage-a (it revives empty later -- Memcached keeps "
+        "nothing), then a serving instance crashes: every surviving key "
+        "must still be durable on the second replica."
+    ),
+    faults=[
+        crash(0.04, "store:0", duration=5.0),
+        crash(3.0, "lb:serving"),
+    ],
+))
+
+_register(Scenario(
+    name="instance-flap",
+    description=(
+        "One instance flaps (3 fail/recover cycles) while another, "
+        "currently serving, crashes for good.  Flows touched by the "
+        "flapping instance migrate back and forth through TCPStore "
+        "without breaking."
+    ),
+    faults=[
+        flap(1.0, "lb:0", period=1.2, count=3),
+        crash(5.0, "lb:serving"),
+    ],
+))
+
+_register(Scenario(
+    name="gray-cpu",
+    description=(
+        "Gray failure: an instance silently runs 30x slower (health "
+        "probes still pass) and clients see a latency spike on top; a "
+        "serving instance crashes mid-run.  Correctness must survive "
+        "even when performance rots."
+    ),
+    faults=[
+        slow_cpu(1.0, "lb:0", factor=30.0, duration=6.0),
+        latency_spike(1.0, 0.030, "internet", "dc", duration=6.0),
+        crash(3.0, "lb:serving"),
+    ],
+))
+
+_register(Scenario(
+    name="double-crash",
+    description=(
+        "Combined failure: a serving instance and a store replica die "
+        "within 100 ms of each other.  Recovery reads must race past the "
+        "dead replica (first-hit-wins) while the ring heals."
+    ),
+    faults=[
+        crash(2.0, "lb:serving"),
+        crash(2.1, "store:1", duration=5.0),
+    ],
+    # big objects keep transfers in flight across the crash instant --
+    # that is what kills HAProxy's locally-pinned connections
+    object_bytes=1_200_000,
+    http_timeout=20.0,
+))
+
+_register(Scenario(
+    name="probe-loss",
+    description=(
+        "30% of controller health probes vanish while a serving instance "
+        "genuinely crashes.  Hysteresis must keep healthy instances from "
+        "flapping out of the VIP ring on single dropped probes, yet "
+        "still detect the real failure."
+    ),
+    faults=[
+        probe_loss(0.5, 0.30, duration=8.0),
+        crash(3.0, "lb:serving"),
+    ],
+))
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return BUILTIN_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (built-ins: {known})") from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(BUILTIN_SCENARIOS)

@@ -1,0 +1,177 @@
+"""The scenario engine: compile a fault timeline onto the event loop.
+
+A :class:`Scenario` is declarative data -- workload sizing plus a list of
+:class:`FaultSpec` entries with times relative to load start.  The engine
+builds a :class:`Testbed`, attaches an :class:`InvariantMonitor`, starts
+closed-loop clients, schedules every fault, runs the load phase, then
+heals all outstanding faults and drains so every admitted flow can reach
+its terminal state before the invariants are finalized.
+
+Determinism: with the same seed, the whole run -- fault resolution
+included -- replays identically, which :meth:`ScenarioOutcome.trace_digest`
+witnesses as a SHA-256 over the packet schedule.
+
+``run_contrast`` runs the same scenario against YODA and the HAProxy
+baseline, preserving the paper's Figure 12 contrast: YODA must come out
+clean while HAProxy demonstrably breaks flows under the same schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chaos.faults import AppliedFault, FaultSpec, apply_fault
+from repro.chaos.invariants import InvariantMonitor, Verdict
+from repro.experiments.harness import Testbed, TestbedConfig
+
+
+@dataclass
+class Scenario:
+    """A named, self-contained chaos experiment."""
+
+    name: str
+    description: str
+    faults: List[FaultSpec] = field(default_factory=list)
+    duration: float = 12.0  # load phase (seconds, after testbed settle)
+    drain: float = 8.0  # quiesce window before invariants are finalized
+    clients: int = 4
+    http_timeout: float = 10.0
+    object_bytes: int = 300_000
+    object_count: int = 6
+    num_lb_instances: int = 4
+    num_store_servers: int = 3
+    num_backends: int = 3
+
+    def timeline(self) -> List[str]:
+        return [spec.describe() for spec in sorted(self.faults, key=lambda s: s.at)]
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything a scenario run produced."""
+
+    scenario: str
+    lb: str
+    seed: int
+    verdicts: List[Verdict]
+    pages_loaded: int
+    broken_pages: int
+    trace_digest: str
+    applied: List[str] = field(default_factory=list)  # resolved fault targets
+
+    @property
+    def invariants_ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def violation_count(self) -> int:
+        return sum(v.violation_count for v in self.verdicts)
+
+    @property
+    def ok(self) -> bool:
+        """Zero invariant violations AND zero client-visible breakage."""
+        return self.invariants_ok and self.broken_pages == 0 and self.pages_loaded > 0
+
+    def render(self) -> str:
+        lines = [
+            f"scenario {self.scenario} [{self.lb}] seed={self.seed}: "
+            f"{'PASS' if self.ok else 'BROKEN'}",
+            f"  pages: {self.pages_loaded} loaded, {self.broken_pages} broken",
+        ]
+        for verdict in self.verdicts:
+            lines.append(f"  {verdict}")
+            for violation in verdict.violations[:3]:
+                lines.append(f"    {violation}")
+        lines.append(f"  trace digest: {self.trace_digest[:16]}")
+        return "\n".join(lines)
+
+
+class ScenarioEngine:
+    """Run one scenario against one LB implementation."""
+
+    def __init__(self, scenario: Scenario, lb: str = "yoda", seed: int = 2016):
+        self.scenario = scenario
+        self.lb = lb
+        self.seed = seed
+        self.applied: List[AppliedFault] = []
+        self.bed: Optional[Testbed] = None
+        self.monitor: Optional[InvariantMonitor] = None
+
+    def build(self) -> Testbed:
+        s = self.scenario
+        self.bed = Testbed(TestbedConfig(
+            seed=self.seed,
+            lb=self.lb,
+            num_lb_instances=s.num_lb_instances,
+            num_store_servers=s.num_store_servers,
+            num_backends=s.num_backends,
+            corpus="flat",
+            flat_object_bytes=s.object_bytes,
+            flat_object_count=s.object_count,
+        ))
+        self.monitor = InvariantMonitor(self.bed)
+        self.bed.network.add_trace(self.monitor)
+        return self.bed
+
+    def run(self) -> ScenarioOutcome:
+        bed = self.build()
+        s = self.scenario
+        processes = bed.closed_loop(s.clients, http_timeout=s.http_timeout)
+        for spec in s.faults:
+            bed.loop.call_later(spec.at, self._fire, spec)
+        bed.run(s.duration)
+        load_end = bed.loop.now()
+        for proc in processes:
+            proc.stop()
+        self._heal_all()
+        bed.run(s.drain)
+        crashed = [a.target_name for a in self.applied
+                   if a.spec.kind in ("crash", "flap") and a.target_name]
+        verdicts = self.monitor.finalize(
+            strict_before=load_end, exclude_instances=crashed)
+        return ScenarioOutcome(
+            scenario=s.name,
+            lb=self.lb,
+            seed=self.seed,
+            verdicts=verdicts,
+            pages_loaded=sum(p.pages_loaded for p in processes),
+            broken_pages=sum(p.broken_pages for p in processes),
+            trace_digest=self.monitor.digest(),
+            applied=[
+                f"{a.spec.kind}:{a.target_name}" for a in self.applied
+                if a.target_name
+            ],
+        )
+
+    def _fire(self, spec: FaultSpec) -> None:
+        applied = apply_fault(self.bed, spec)
+        self.applied.append(applied)
+        if spec.duration is not None and applied.revert is not None:
+            revert, applied.revert = applied.revert, None
+            self.bed.loop.call_later(spec.duration, revert)
+
+    def _heal_all(self) -> None:
+        """End of load phase: undo every *environmental* fault still in
+        force (network, CPU, probes) so the drain window measures
+        recovery, not steady-state faults.  Crashes without a duration
+        are permanent -- a dead VM stays dead, which is exactly what the
+        YODA-vs-HAProxy contrast hinges on."""
+        for applied in self.applied:
+            if applied.revert is not None and applied.spec.kind != "crash":
+                applied.revert()
+                applied.revert = None
+        self.bed.network.heal()
+
+
+def run_scenario(scenario: Scenario, lb: str = "yoda",
+                 seed: int = 2016) -> ScenarioOutcome:
+    return ScenarioEngine(scenario, lb=lb, seed=seed).run()
+
+
+def run_contrast(scenario: Scenario, seed: int = 2016) -> Dict[str, ScenarioOutcome]:
+    """The Figure 12 contrast: same schedule, both LB tiers."""
+    return {
+        "yoda": run_scenario(scenario, lb="yoda", seed=seed),
+        "haproxy": run_scenario(scenario, lb="haproxy", seed=seed),
+    }

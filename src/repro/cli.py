@@ -9,6 +9,13 @@ Regenerate any of the paper's tables/figures without pytest::
 Each experiment prints the same rows its benchmark checks; `--seed`
 changes the deterministic seed, `--quick` shrinks the workload for a fast
 sanity pass.
+
+Chaos scenarios (fault injection + invariant monitors, YODA vs the
+HAProxy baseline under the same fault schedule)::
+
+    python -m repro chaos list
+    python -m repro chaos store-partition
+    python -m repro chaos all --seed 7 --no-baseline
 """
 
 from __future__ import annotations
@@ -101,7 +108,16 @@ def main(argv=None) -> int:
     runp.add_argument("--seed", type=int, default=2016)
     runp.add_argument("--quick", action="store_true",
                       help="smaller workloads, same shapes")
+    chaosp = sub.add_parser(
+        "chaos", help="run a chaos scenario ('list', a name, or 'all')")
+    chaosp.add_argument("scenario")
+    chaosp.add_argument("--seed", type=int, default=2016)
+    chaosp.add_argument("--no-baseline", action="store_true",
+                        help="skip the HAProxy contrast run")
     args = parser.parse_args(argv)
+
+    if args.command == "chaos":
+        return _run_chaos(args)
 
     if args.command == "list":
         width = max(len(n) for n in EXPERIMENTS)
@@ -118,6 +134,53 @@ def main(argv=None) -> int:
         print(result.render())
         print(f"[{name} finished in {elapsed:.1f}s]\n")
     return 0
+
+
+def _run_chaos(args) -> int:
+    # Imported lazily so `python -m repro list` stays instant.
+    from repro.chaos import get_scenario, run_contrast, run_scenario
+    from repro.chaos.library import BUILTIN_SCENARIOS, scenario_names
+
+    if args.scenario == "list":
+        width = max(len(n) for n in BUILTIN_SCENARIOS)
+        for name in scenario_names():
+            scenario = BUILTIN_SCENARIOS[name]
+            print(f"  {name:<{width}}  {scenario.description.strip()}")
+            for line in scenario.timeline():
+                print(f"  {'':<{width}}    {line}")
+        return 0
+
+    names = scenario_names() if args.scenario == "all" else [args.scenario]
+    exit_code = 0
+    for name in names:
+        try:
+            scenario = get_scenario(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        if args.no_baseline:
+            outcomes = {"yoda": run_scenario(scenario, lb="yoda", seed=args.seed)}
+        else:
+            outcomes = run_contrast(scenario, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        for outcome in outcomes.values():
+            print(outcome.render())
+        yoda_ok = outcomes["yoda"].ok
+        haproxy = outcomes.get("haproxy")
+        if haproxy is not None:
+            contrast = "holds" if (yoda_ok and not haproxy.ok) else "LOST"
+            print(f"[{name}: yoda {'clean' if yoda_ok else 'BROKEN'}, "
+                  f"haproxy {'broken' if not haproxy.ok else 'clean'} -> "
+                  f"contrast {contrast}; {elapsed:.1f}s]\n")
+            if not yoda_ok:
+                exit_code = 1
+        else:
+            print(f"[{name}: yoda {'clean' if yoda_ok else 'BROKEN'}; "
+                  f"{elapsed:.1f}s]\n")
+            if not yoda_ok:
+                exit_code = 1
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,20 +28,34 @@ from repro.l4lb.service import L4LoadBalancer
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
 from repro.sim.process import PeriodicTask
+from repro.sim.random import SeededRng
 
 MONITOR_INTERVAL = 0.6
+DOWN_AFTER_PROBES = 2  # consecutive failed probes before marking down
+UP_AFTER_PROBES = 2  # consecutive good probes before marking up again
 
 
 class ControllerHealthView:
-    """The backend view the selectors consult.
+    """The health view the selectors consult, with up/down hysteresis.
 
     Reflects *monitor-detected* state, not instantaneous truth: a backend
-    that just died is still selected until the next 600 ms ping round.
+    that just died is still selected until enough ping rounds agree.  A
+    single dropped probe must not flap a healthy target out of rotation,
+    so a transition needs ``down_after`` consecutive failed probes (and,
+    symmetrically, ``up_after`` consecutive successes to come back).
+    Unknown targets default to healthy, as before.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, down_after: int = DOWN_AFTER_PROBES,
+                 up_after: int = UP_AFTER_PROBES) -> None:
+        if down_after < 1 or up_after < 1:
+            raise ValueError("hysteresis thresholds must be >= 1")
+        self.down_after = down_after
+        self.up_after = up_after
         self._healthy: Dict[str, bool] = {}
         self._load: Dict[str, float] = {}
+        self._fail_streak: Dict[str, int] = {}
+        self._ok_streak: Dict[str, int] = {}
 
     def is_healthy(self, backend: str) -> bool:
         return self._healthy.get(backend, True)
@@ -49,13 +63,37 @@ class ControllerHealthView:
     def load(self, backend: str) -> float:
         return self._load.get(backend, 0.0)
 
+    def observe(self, backend: str, ok: bool,
+                load: Optional[float] = None) -> bool:
+        """Feed one probe result; returns the (hysteresis-filtered) verdict."""
+        if ok:
+            self._fail_streak[backend] = 0
+            streak = self._ok_streak.get(backend, 0) + 1
+            self._ok_streak[backend] = streak
+            if not self._healthy.get(backend, True) and streak >= self.up_after:
+                self._healthy[backend] = True
+            if load is not None:
+                self._load[backend] = load
+        else:
+            self._ok_streak[backend] = 0
+            streak = self._fail_streak.get(backend, 0) + 1
+            self._fail_streak[backend] = streak
+            if self._healthy.get(backend, True) and streak >= self.down_after:
+                self._healthy[backend] = False
+        return self._healthy.get(backend, True)
+
     def update(self, backend: str, healthy: bool, load: float) -> None:
+        """Force-set state, bypassing hysteresis (operator override)."""
         self._healthy[backend] = healthy
         self._load[backend] = load
+        self._fail_streak[backend] = 0
+        self._ok_streak[backend] = 0
 
     def forget(self, backend: str) -> None:
         self._healthy.pop(backend, None)
         self._load.pop(backend, None)
+        self._fail_streak.pop(backend, None)
+        self._ok_streak.pop(backend, None)
 
 
 @dataclass
@@ -79,6 +117,9 @@ class YodaController:
         instances: Sequence[YodaInstance],
         kv_cluster: Optional[MemcachedCluster] = None,
         monitor_interval: float = MONITOR_INTERVAL,
+        down_after: int = DOWN_AFTER_PROBES,
+        up_after: int = UP_AFTER_PROBES,
+        rng: Optional[SeededRng] = None,
     ):
         self.loop = loop
         self.l4lb = l4lb
@@ -89,16 +130,28 @@ class YodaController:
         self.backends: Dict[str, BackendHttpServer] = {}
         self.policies: Dict[str, VipPolicy] = {}
         self.assignments: Dict[str, List[str]] = {}  # vip -> instance names
-        self.health_view = ControllerHealthView()
+        self.health_view = ControllerHealthView(down_after, up_after)
         self.metrics = MetricRegistry("controller")
         self._instance_alive: Dict[str, bool] = {}
+        self._instance_health = ControllerHealthView(down_after, up_after)
+        self._kv_health = ControllerHealthView(down_after, up_after)
         self._autoscale: Optional[AutoscaleConfig] = None
         self._scaler: Optional[PeriodicTask] = None
         self.traffic_stats: Dict[str, int] = {}
+        # Probes can themselves be lost (chaos scenarios raise this); the
+        # rng is only consulted when the rate is nonzero, so healthy runs
+        # keep bit-identical schedules with or without the parameter.
+        self.probe_loss_rate = 0.0
+        self._probe_rng = (rng or SeededRng(0)).fork("probes")
 
         for instance in instances:
             self._adopt(instance)
-        self._monitor = PeriodicTask(loop, monitor_interval, self._monitor_tick)
+        # Probe faster than the advertised detection budget: ``down_after``
+        # consecutive failed probes fit inside one monitor_interval, so the
+        # paper's 600 ms worst-case detection clock still holds.
+        self.monitor_interval = monitor_interval
+        probe_interval = monitor_interval / max(1, down_after)
+        self._monitor = PeriodicTask(loop, probe_interval, self._monitor_tick)
         self._monitor.start()
 
     # ------------------------------------------------------------ instances --
@@ -231,10 +284,20 @@ class YodaController:
     def register_backend(self, name: str, server: BackendHttpServer) -> None:
         self.backends[name] = server
 
+    def _probe(self, host) -> bool:
+        """One health ping: fails when the host is down or the probe
+        itself is lost in transit."""
+        if host.failed:
+            return False
+        if self.probe_loss_rate and self._probe_rng.random() < self.probe_loss_rate:
+            self.metrics.counter("probes_lost").inc()
+            return False
+        return True
+
     def _monitor_tick(self) -> None:
         # YODA instances: remove failed ones from every mapping + flush
         for name, instance in self.instances.items():
-            alive = not instance.host.failed
+            alive = self._instance_health.observe(name, self._probe(instance.host))
             if not alive and self._instance_alive.get(name, True):
                 self._instance_alive[name] = False
                 self.metrics.counter("instance_failures_detected").inc()
@@ -246,19 +309,24 @@ class YodaController:
                 for vip, assigned in self.assignments.items():
                     if name in assigned:
                         self._push_mapping(vip)
-        # backends: update the health view the selectors consult
+        # backends: update the health view the selectors consult.  Load is
+        # only readable when the probe comes back.
         for name, server in self.backends.items():
-            self.health_view.update(
-                name, not server.host.failed, float(server.active_requests)
+            ok = self._probe(server.host)
+            self.health_view.observe(
+                name, ok, load=float(server.active_requests) if ok else None
             )
-        # Memcached servers: drop dead ones from the replication ring
+        # Memcached servers: drop dead ones from the replication ring.
+        # mark_live respects client-imposed quarantines, so the monitor
+        # cannot re-admit a server the data path just proved unresponsive.
         if self.kv_cluster is not None:
             for name, server in self.kv_cluster.servers.items():
-                if server.host.failed and name in self.kv_cluster.ring:
+                ok = self._kv_health.observe(name, self._probe(server.host))
+                if not ok and name in self.kv_cluster.ring:
                     self.kv_cluster.mark_dead(name)
                     self.metrics.counter("kv_failures_detected").inc()
-                elif not server.host.failed and name not in self.kv_cluster.ring:
-                    self.kv_cluster.mark_live(name)
+                elif ok and name not in self.kv_cluster.ring:
+                    self.kv_cluster.mark_live(name, now=self.loop.now())
         # traffic statistics from the instances
         for name, instance in self.instances.items():
             if self._instance_alive[name]:

@@ -973,3 +973,22 @@ class YodaInstance:
         for flow in stale:
             self.metrics.counter("flows_idle_reaped").inc()
             self._destroy_flow(flow, remove_stored=True)
+
+    def snat_ports_leaked(self) -> Dict[str, set]:
+        """SNAT ports marked in-use but owned by no live flow, per VIP.
+
+        An invariant monitor calls this after a run settles: every
+        allocated port must be released by :meth:`_destroy_flow`, or the
+        finite SNAT range eventually starves new server connections.
+        """
+        owned: Dict[str, set] = {}
+        for flow in self.flows.values():
+            state = flow.state
+            if state.snat_port is not None:
+                owned.setdefault(state.vip.ip, set()).add(state.snat_port)
+        leaked: Dict[str, set] = {}
+        for vip, in_use in self._snat_in_use.items():
+            extra = in_use - owned.get(vip, set())
+            if extra:
+                leaked[vip] = extra
+        return leaked

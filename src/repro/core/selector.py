@@ -36,6 +36,19 @@ class AllHealthy:
         return 0.0
 
 
+class _FailOpen:
+    """Panic view: believe nobody is dead, but keep the real loads."""
+
+    def __init__(self, view: BackendView):
+        self._view = view
+
+    def is_healthy(self, backend: str) -> bool:
+        return True
+
+    def load(self, backend: str) -> float:
+        return self._view.load(backend)
+
+
 @dataclass
 class ScanCostModel:
     """Rule-scan latency: base + per_rule * rules_scanned (Figure 6).
@@ -68,6 +81,7 @@ class RuleTable:
         self._rules = sorted(rules, key=lambda r: -r.priority)
         self.cost_model = cost_model or ScanCostModel()
         self.lookups = 0
+        self.panic_selections = 0
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -87,10 +101,27 @@ class RuleTable:
         Scans rules in priority order; a rule is skipped when none of its
         backends is healthy -- that skip is what makes the paper's
         primary-backup pattern (same match, two priorities) work.
-        Returns None if no rule matches with a healthy backend.
+
+        When the health view disqualifies *every* candidate (which a
+        monitor false-positive storm can do even while the backends are
+        fine), the table fails open: a second scan ignores health and
+        routes anyway.  Trying a possibly-dead backend at worst costs one
+        connect timeout; resetting the client is a guaranteed failure.
+        Returns None only if no rule matches at all (or matching rules
+        carry zero weight).
         """
         view = view or AllHealthy()
         self.lookups += 1
+        result = self._scan(request, rng, view)
+        if result is None and not isinstance(view, AllHealthy):
+            result = self._scan(request, rng, _FailOpen(view))
+            if result is not None:
+                self.panic_selections += 1
+        return result
+
+    def _scan(
+        self, request: HttpRequest, rng: SeededRng, view: BackendView
+    ) -> Optional[SelectionResult]:
         scanned = 0
         for rule in self._rules:
             scanned += 1

@@ -36,6 +36,11 @@ class YodaServiceConfig:
     store_replicas: int = 2
     mapping_propagation: float = 0.2
     monitor_interval: float = 0.6
+    down_after: int = 2  # consecutive failed probes to mark down
+    up_after: int = 2  # consecutive good probes to mark up
+    kv_op_timeout: float = 0.1
+    kv_max_retries: int = 2
+    kv_dead_after_timeouts: int = 3
     cost_model: YodaCostModel = field(default_factory=YodaCostModel)
     scan_cost_model: ScanCostModel = field(default_factory=ScanCostModel)
     instance_prefix: str = "10.1"
@@ -79,6 +84,8 @@ class YodaService:
         self.controller = YodaController(
             loop, self.l4lb, self.instances, kv_cluster=self.kv_cluster,
             monitor_interval=cfg.monitor_interval,
+            down_after=cfg.down_after, up_after=cfg.up_after,
+            rng=self.rng,
         )
 
     def _build_instance(self, index: int) -> YodaInstance:
@@ -87,7 +94,10 @@ class YodaService:
             Host(f"yoda-{index}", [f"{cfg.instance_prefix}.0.{index + 1}"], site="dc")
         )
         kv = ReplicatingKvClient(
-            host, self.loop, self.kv_cluster, replicas=cfg.store_replicas
+            host, self.loop, self.kv_cluster, replicas=cfg.store_replicas,
+            op_timeout=cfg.kv_op_timeout, max_retries=cfg.kv_max_retries,
+            dead_after_timeouts=cfg.kv_dead_after_timeouts,
+            rng=self.rng.fork(f"kv/{host.name}"),
         )
         return YodaInstance(
             host, self.loop, self.rng, TcpStore(kv),

@@ -79,6 +79,11 @@ class TestbedConfig:
     yoda_cost: YodaCostModel = field(default_factory=YodaCostModel)
     scan_cost: ScanCostModel = field(default_factory=ScanCostModel)
     monitor_interval: float = 0.6
+    down_after: int = 2  # consecutive failed probes before marking down
+    up_after: int = 2  # consecutive good probes before marking up
+    kv_op_timeout: float = 0.1
+    kv_max_retries: int = 2
+    kv_dead_after_timeouts: int = 3
     trace_packets: bool = False
     tls_certificate: object = None  # repro.http.tls.Certificate enables SSL
 
@@ -146,6 +151,11 @@ class Testbed:
                     cost_model=cfg.yoda_cost,
                     scan_cost_model=cfg.scan_cost,
                     monitor_interval=cfg.monitor_interval,
+                    down_after=cfg.down_after,
+                    up_after=cfg.up_after,
+                    kv_op_timeout=cfg.kv_op_timeout,
+                    kv_max_retries=cfg.kv_max_retries,
+                    kv_dead_after_timeouts=cfg.kv_dead_after_timeouts,
                 ),
             )
             self.yoda.add_service(self.policy, self.backends)
@@ -215,25 +225,35 @@ class Testbed:
         return gen
 
     # --------------------------------------------------------------- faults --
+    def lb_instances(self) -> List[object]:
+        """The L7 LB tier, whichever implementation is deployed."""
+        if self.yoda is not None:
+            return list(self.yoda.instances)
+        return list(self.haproxy_instances)
+
+    def serving_lb_instances(self) -> List[object]:
+        """LB instances currently carrying flows, busiest first."""
+        live = [i for i in self.lb_instances() if not i.host.failed]
+        live.sort(key=self._busyness, reverse=True)
+        return [i for i in live if self._busyness(i) > 0]
+
+    @staticmethod
+    def _busyness(instance) -> int:
+        flows = getattr(instance, "flows", None)
+        if flows is not None:  # YODA instance
+            mid = sum(1 for f in flows.values()
+                      if f.phase.value in ("tunnel", "server_syn_sent",
+                                           "await_header"))
+            return 2 if mid else (1 if flows else 0)
+        conns = instance.stack.connections()  # HAProxy instance
+        return 2 if conns else 0
+
     def fail_lb_instances(self, count: int) -> List[str]:
         """Fail ``count`` LB instances, preferring ones carrying flows that
         are genuinely mid-transfer (the paper's interesting case), then any
         busy ones, then idle ones."""
-        pool = (self.yoda.instances if self.yoda
-                else self.haproxy_instances)
-
-        def busyness(instance) -> int:
-            flows = getattr(instance, "flows", None)
-            if flows is not None:  # YODA instance
-                mid = sum(1 for f in flows.values()
-                          if f.phase.value in ("tunnel", "server_syn_sent",
-                                               "await_header"))
-                return 2 if mid else (1 if flows else 0)
-            conns = instance.stack.connections()  # HAProxy instance
-            return 2 if conns else 0
-
-        live = [i for i in pool if not i.host.failed]
-        live.sort(key=busyness, reverse=True)
+        live = [i for i in self.lb_instances() if not i.host.failed]
+        live.sort(key=self._busyness, reverse=True)
         victims = []
         for instance in live[:count]:
             instance.fail()

@@ -27,6 +27,7 @@ from repro.net.packet import Packet
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
 from repro.sim.process import Timer
+from repro.sim.random import SeededRng
 
 KV_CLIENT_PORT = 11210
 
@@ -35,6 +36,12 @@ class MemcachedCluster:
     """Shared membership view: which store servers exist and are believed
     live.  The YODA monitor updates liveness; all clients see it at once
     (decentralized server selection -- no lookup service on the data path).
+
+    A server removed with ``mark_dead(name, until=t)`` is *quarantined*:
+    ``mark_live`` refuses to re-admit it before ``t``.  Clients use this
+    when they conclude a server is unresponsive from consecutive timeouts,
+    so the controller's omniscient-looking monitor cannot instantly undo a
+    data-path verdict (e.g. for a partitioned-but-running server).
     """
 
     def __init__(self, servers: Sequence[MemcachedServer]):
@@ -42,17 +49,28 @@ class MemcachedCluster:
             raise KvStoreError("cluster needs at least one server")
         self.servers: Dict[str, MemcachedServer] = {s.name: s for s in servers}
         self.ring = HashRing([s.name for s in servers])
+        self._quarantined_until: Dict[str, float] = {}
 
     def add(self, server: MemcachedServer) -> None:
         self.servers[server.name] = server
         self.ring.add(server.name)
 
-    def mark_dead(self, name: str) -> None:
+    def mark_dead(self, name: str, until: Optional[float] = None) -> None:
         self.ring.remove(name)
+        if until is not None:
+            current = self._quarantined_until.get(name, 0.0)
+            self._quarantined_until[name] = max(current, until)
 
-    def mark_live(self, name: str) -> None:
-        if name in self.servers:
-            self.ring.add(name)
+    def mark_live(self, name: str, now: Optional[float] = None) -> bool:
+        """Re-admit a server to the ring.  Returns False (and does
+        nothing) while the server is quarantined and ``now`` is given."""
+        if name not in self.servers:
+            return False
+        if now is not None and now < self._quarantined_until.get(name, 0.0):
+            return False
+        self._quarantined_until.pop(name, None)
+        self.ring.add(name)
+        return True
 
     def live_count(self) -> int:
         return len(self.ring)
@@ -83,16 +101,19 @@ class KvOpResult:
 
 
 class _PendingOp:
-    def __init__(self, op: str, key: str, targets: List[str], started_at: float,
+    def __init__(self, op: str, key: str, value: Optional[bytes],
+                 targets: List[str], started_at: float,
                  on_done: Callable[[KvOpResult], None]):
         self.op = op
         self.key = key
+        self.value = value
         self.targets = targets
         self.on_done = on_done
         self.result = KvOpResult(op=op, key=key, ok=False, started_at=started_at,
                                  replicas_targeted=len(targets))
-        self.answered = 0
+        self.answered_by: set = set()
         self.successes = 0
+        self.attempts = 1
         self.finished = False
         self.timer: Optional[Timer] = None
 
@@ -106,6 +127,14 @@ class ReplicatingKvClient:
         replicas: K, the number of servers each key is stored on.
         op_timeout: per-operation deadline; a dead server is detected by
             silence, not errors.
+        max_retries: extra attempts (with exponential backoff) when an
+            operation times out with zero replica answers.
+        dead_after_timeouts: consecutive per-server timeouts before this
+            client marks the server dead in the shared cluster view.
+        quarantine: seconds a client-marked-dead server stays out of the
+            ring even if the controller believes it healthy.
+        rng: optional randomness for retry jitter (decorrelates the
+            retry storms of many clients hitting the same dead server).
     """
 
     def __init__(
@@ -115,6 +144,10 @@ class ReplicatingKvClient:
         cluster: MemcachedCluster,
         replicas: int = 2,
         op_timeout: float = 0.1,
+        max_retries: int = 2,
+        dead_after_timeouts: int = 3,
+        quarantine: float = 1.0,
+        rng: Optional[SeededRng] = None,
     ):
         if replicas < 1:
             raise KvStoreError(f"replicas must be >= 1, got {replicas}")
@@ -123,9 +156,14 @@ class ReplicatingKvClient:
         self.cluster = cluster
         self.replicas = replicas
         self.op_timeout = op_timeout
+        self.max_retries = max_retries
+        self.dead_after_timeouts = dead_after_timeouts
+        self.quarantine = quarantine
+        self.rng = rng
         self.metrics = MetricRegistry(f"{host.name}.kv")
         self._req_ids = itertools.count(1)
         self._pending: Dict[int, _PendingOp] = {}
+        self._consecutive_timeouts: Dict[str, int] = {}
 
     # -- public API ---------------------------------------------------------
     def set(self, key: str, value: bytes,
@@ -159,30 +197,46 @@ class ReplicatingKvClient:
         if not targets:
             raise KvStoreError("no live Memcached servers")
         req_id = next(self._req_ids)
-        pending = _PendingOp(op, key, targets, self.loop.now(), on_done or (lambda r: None))
+        pending = _PendingOp(op, key, value, targets, self.loop.now(),
+                             on_done or (lambda r: None))
         self._pending[req_id] = pending
+        self._send_attempt(req_id, pending)
+        self.metrics.counter(f"{op}_issued").inc()
+
+    def _send_attempt(self, req_id: int, pending: _PendingOp) -> None:
         pending.timer = Timer(self.loop, lambda: self._on_timeout(req_id))
-        pending.timer.start(self.op_timeout)
-        for name in targets:
+        pending.timer.start(self._timeout_for(pending.attempts))
+        for name in pending.targets:
             endpoint = self.cluster.endpoint(name)
             self.host.send(
                 Packet(
                     src=Endpoint(self.host.ip, KV_CLIENT_PORT),
                     dst=endpoint,
-                    payload=value or b"",
-                    meta={"kv": {"op": op, "key": key, "value": value,
-                                 "req_id": req_id}},
+                    payload=pending.value or b"",
+                    meta={"kv": {"op": pending.op, "key": pending.key,
+                                 "value": pending.value, "req_id": req_id}},
                 )
             )
-        self.metrics.counter(f"{op}_issued").inc()
+
+    def _timeout_for(self, attempt: int) -> float:
+        """Exponential backoff with optional jitter; attempt is 1-based."""
+        timeout = self.op_timeout * (2 ** (attempt - 1))
+        if self.rng is not None:
+            timeout *= 1.0 + 0.25 * self.rng.random()
+        return timeout
 
     def _on_response(self, resp: Dict) -> None:
+        server = resp.get("server")
+        if server is not None:
+            self._consecutive_timeouts[server] = 0
         req_id = resp["req_id"]
         pending = self._pending.get(req_id)
         if pending is None or pending.finished:
             return
-        pending.answered += 1
-        pending.result.replicas_answered = pending.answered
+        if server in pending.answered_by:
+            return  # duplicate delivery or straggler from an earlier attempt
+        pending.answered_by.add(server)
+        pending.result.replicas_answered = len(pending.answered_by)
         if resp["ok"]:
             pending.successes += 1
             if pending.op == "get" and pending.result.value is None:
@@ -190,7 +244,7 @@ class ReplicatingKvClient:
         if pending.op == "get" and resp["ok"]:
             # first hit wins: lowest possible read latency
             self._complete(req_id, ok=True)
-        elif pending.answered == len(pending.targets):
+        elif pending.answered_by >= set(pending.targets):
             self._complete(req_id, ok=pending.successes > 0)
 
     def _on_timeout(self, req_id: int) -> None:
@@ -198,7 +252,37 @@ class ReplicatingKvClient:
         if pending is None or pending.finished:
             return
         self.metrics.counter("timeouts").inc()
-        self._complete(req_id, ok=pending.successes > 0)
+        for name in pending.targets:
+            if name not in pending.answered_by:
+                self._penalize(name)
+        if pending.successes > 0:
+            # Partial answers are enough: the paper's availability-first
+            # semantics (any replica ack = durable enough to proceed).
+            self._complete(req_id, ok=True)
+            return
+        if pending.attempts <= self.max_retries:
+            pending.attempts += 1
+            # Re-pick replicas: marking servers dead above may have moved
+            # this key's replica set to responsive servers.
+            retry_targets = self.cluster.replicas_for(pending.key, self.replicas)
+            if retry_targets:
+                pending.targets = retry_targets
+                pending.result.replicas_targeted = len(retry_targets)
+                self.metrics.counter("retries").inc()
+                self._send_attempt(req_id, pending)
+                return
+        self._complete(req_id, ok=False)
+
+    def _penalize(self, name: str) -> None:
+        """Count a per-server consecutive timeout; mark dead at threshold."""
+        streak = self._consecutive_timeouts.get(name, 0) + 1
+        self._consecutive_timeouts[name] = streak
+        if self.dead_after_timeouts and streak >= self.dead_after_timeouts:
+            if name in self.cluster.ring:
+                self.cluster.mark_dead(
+                    name, until=self.loop.now() + self.quarantine)
+                self.metrics.counter("servers_marked_dead").inc()
+            self._consecutive_timeouts[name] = 0
 
     def _complete(self, req_id: int, ok: bool) -> None:
         pending = self._pending.pop(req_id)

@@ -4,10 +4,17 @@ Delivery is point-to-point by destination IP with a per-site-pair latency
 model, optional loss, and tap points for tcpdump-style tracing.  Address
 ownership can change at runtime (``claim_ip``), which is how a VIP is owned
 by the L4 LB service rather than any single VM.
+
+Fault primitives for the chaos engine live here too: per-path loss (up to
+1.0 = blackhole/partition), packet duplication, and latency spikes.  A
+"path" is directional and addressed by source/destination *host name or
+site name*, so both "partition yoda-0 from the stores" and "lossy uplink
+from the datacenter to the internet" are expressible.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import NetworkError
@@ -20,6 +27,18 @@ from repro.sim.random import SeededRng
 from repro.sim.tracing import PacketTrace, TraceRecord
 
 DEFAULT_INTRA_DC_LATENCY = 0.00025  # 250 us one-way within the datacenter
+
+
+@dataclass
+class PathFaults:
+    """Fault knobs for one directional path (host or site granularity)."""
+
+    loss: float = 0.0  # drop probability; 1.0 = blackhole (partition)
+    duplicate: float = 0.0  # probability a packet is delivered twice
+    extra_latency: float = 0.0  # added one-way delay (latency spike)
+
+    def is_default(self) -> bool:
+        return self.loss == 0.0 and self.duplicate == 0.0 and self.extra_latency == 0.0
 
 
 class Network:
@@ -45,6 +64,7 @@ class Network:
         self._latency: Dict[Tuple[str, str], LatencyModel] = {}
         self._default_latency = default_latency or FixedLatency(DEFAULT_INTRA_DC_LATENCY)
         self._loss_rate = 0.0
+        self._path_faults: Dict[Tuple[str, str], PathFaults] = {}
         self._traces: List[PacketTrace] = []
         self._last_delivery: Dict[Tuple[str, str], float] = {}
 
@@ -108,11 +128,93 @@ class Network:
         self.set_latency(site_a, site_b, model)
         self.set_latency(site_b, site_a, model)
 
-    def set_loss_rate(self, rate: float) -> None:
-        """Independent per-packet drop probability in [0, 1)."""
-        if not 0.0 <= rate < 1.0:
-            raise NetworkError(f"loss rate must be in [0, 1), got {rate}")
-        self._loss_rate = rate
+    def set_loss_rate(
+        self, rate: float, src: Optional[str] = None, dst: Optional[str] = None
+    ) -> None:
+        """Independent per-packet drop probability in [0, 1].
+
+        With no ``src``/``dst`` this sets the global rate (the original
+        form, which must stay below 1.0 -- a total global blackhole is
+        never what a caller wants).  With both given it sets a directional
+        per-path rate, where each endpoint is a host name or a site name
+        and ``rate=1.0`` means a blackhole (one direction of a partition).
+        """
+        if (src is None) != (dst is None):
+            raise NetworkError("set_loss_rate needs both src and dst, or neither")
+        if src is None:
+            if not 0.0 <= rate < 1.0:
+                raise NetworkError(f"global loss rate must be in [0, 1), got {rate}")
+            self._loss_rate = rate
+            return
+        if not 0.0 <= rate <= 1.0:
+            raise NetworkError(f"path loss rate must be in [0, 1], got {rate}")
+        self._path_fault(src, dst).loss = rate
+        self._prune_path_faults()
+
+    def set_duplicate_rate(self, rate: float, src: str, dst: str) -> None:
+        """Probability a packet on the path is delivered twice."""
+        if not 0.0 <= rate <= 1.0:
+            raise NetworkError(f"duplicate rate must be in [0, 1], got {rate}")
+        self._path_fault(src, dst).duplicate = rate
+        self._prune_path_faults()
+
+    def set_extra_latency(self, seconds: float, src: str, dst: str) -> None:
+        """Add a fixed one-way delay on the path (latency spike)."""
+        if seconds < 0.0:
+            raise NetworkError(f"extra latency must be >= 0, got {seconds}")
+        self._path_fault(src, dst).extra_latency = seconds
+        self._prune_path_faults()
+
+    def partition(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Blackhole traffic a -> b (and b -> a unless ``symmetric=False``).
+
+        Endpoints are host names or site names; asymmetric partitions
+        model one-way reachability failures.
+        """
+        self.set_loss_rate(1.0, src=a, dst=b)
+        if symmetric:
+            self.set_loss_rate(1.0, src=b, dst=a)
+
+    def heal(self, a: Optional[str] = None, b: Optional[str] = None) -> None:
+        """Clear path faults: both directions between ``a`` and ``b``,
+        or every path fault when called with no arguments."""
+        if (a is None) != (b is None):
+            raise NetworkError("heal needs both endpoints, or neither")
+        if a is None:
+            self._path_faults.clear()
+            return
+        self._path_faults.pop((a, b), None)
+        self._path_faults.pop((b, a), None)
+
+    def _path_fault(self, src: str, dst: str) -> PathFaults:
+        key = (src, dst)
+        fault = self._path_faults.get(key)
+        if fault is None:
+            fault = self._path_faults[key] = PathFaults()
+        return fault
+
+    def _prune_path_faults(self) -> None:
+        # Keep the table empty when no fault is active so the data plane
+        # draws no randomness at all on healthy networks (determinism of
+        # existing seeded runs is preserved bit-for-bit).
+        for key in [k for k, f in self._path_faults.items() if f.is_default()]:
+            del self._path_faults[key]
+
+    def _resolve_faults(self, src_host: Host, dst_host: Host) -> Optional[PathFaults]:
+        """Most-specific match wins: host>host, host>site, site>host, site>site."""
+        if not self._path_faults:
+            return None
+        table = self._path_faults
+        for key in (
+            (src_host.name, dst_host.name),
+            (src_host.name, dst_host.site),
+            (src_host.site, dst_host.name),
+            (src_host.site, dst_host.site),
+        ):
+            fault = table.get(key)
+            if fault is not None:
+                return fault
+        return None
 
     def add_trace(self, trace: PacketTrace) -> PacketTrace:
         """Record every transmission (and drop) into ``trace``."""
@@ -132,8 +234,17 @@ class Network:
             self.metrics.counter("lost_packets").inc()
             self._record(packet, point="wire", direction="tx", dropped=True)
             return
+        faults = self._resolve_faults(src_host, dst_host)
+        if faults is not None and faults.loss:
+            if faults.loss >= 1.0 or self.rng.random() < faults.loss:
+                self.metrics.counter("lost_packets").inc()
+                self.metrics.counter("path_lost_packets").inc()
+                self._record(packet, point="wire", direction="tx", dropped=True)
+                return
         model = self._latency.get((src_host.site, dst_host.site), self._default_latency)
         delay = model.delay(packet, self.rng)
+        if faults is not None and faults.extra_latency:
+            delay += faults.extra_latency
         self._record(packet, point="wire", direction="tx", dropped=False)
         # FIFO per path: jittered latency must not reorder packets between
         # the same pair of hosts (a single route does not reorder), or TCP
@@ -145,6 +256,10 @@ class Network:
             deliver_at = last
         self._last_delivery[path] = deliver_at
         self.loop.call_at(deliver_at, self._deliver, dst_host, packet)
+        if faults is not None and faults.duplicate and self.rng.random() < faults.duplicate:
+            self.metrics.counter("duplicated_packets").inc()
+            self._record(packet, point="wire", direction="tx", dropped=False)
+            self.loop.call_at(deliver_at, self._deliver, dst_host, packet)
 
     def _deliver(self, dst_host: Host, packet: Packet) -> None:
         # Re-check routing at delivery time: ownership may have moved while

@@ -28,6 +28,7 @@ class CpuModel:
         self.loop = loop
         self.cores = cores
         self.max_queue_delay = max_queue_delay
+        self.slowdown = 1.0  # gray-failure multiplier on per-item cost
         self._busy_until = 0.0
         self._busy_accum = 0.0  # total busy seconds ever scheduled
         self._window_start = 0.0
@@ -49,7 +50,7 @@ class CpuModel:
         if self.max_queue_delay is not None and start - now > self.max_queue_delay:
             self.dropped += 1
             return None
-        service = cost / self.cores
+        service = cost * self.slowdown / self.cores
         finish = start + service
         self._busy_until = finish
         self._busy_accum += service
@@ -57,6 +58,17 @@ class CpuModel:
         if fn is not None:
             self.loop.call_later(finish - now, fn, *args)
         return finish
+
+    def set_slowdown(self, factor: float) -> None:
+        """Gray failure: every unit of work costs ``factor``x as much CPU.
+
+        The host stays up and answers probes, it is just slow -- the
+        failure mode health checks are worst at catching.  ``1.0``
+        restores normal speed; already-queued work is unaffected.
+        """
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive, got {factor}")
+        self.slowdown = factor
 
     def queue_delay(self) -> float:
         """How long newly arriving work would wait before starting."""

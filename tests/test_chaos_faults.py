@@ -1,0 +1,125 @@
+"""Chaos fault primitives: specs, target resolution, application."""
+
+import pytest
+
+from repro.chaos.faults import (
+    apply_fault,
+    crash,
+    flap,
+    latency_spike,
+    loss,
+    partition,
+    probe_loss,
+    resolve_target,
+    slow_cpu,
+)
+from repro.errors import SimulationError
+from repro.experiments.harness import Testbed, TestbedConfig
+
+
+def make_bed(lb="yoda", **overrides):
+    defaults = dict(seed=11, lb=lb, num_lb_instances=3, num_store_servers=2,
+                    num_backends=2, corpus="flat", flat_object_count=2)
+    defaults.update(overrides)
+    return Testbed(TestbedConfig(**defaults))
+
+
+class TestSpecs:
+    def test_describe_mentions_kind_and_window(self):
+        spec = loss(1.0, 0.10, "dc", "internet", duration=6.0)
+        text = spec.describe()
+        assert "loss" in text and "rate=0.1" in text and "for 6.0s" in text
+
+    def test_describe_host_fault(self):
+        assert "crash lb:serving" in crash(3.0, "lb:serving").describe()
+
+
+class TestTargetResolution:
+    def test_lb_index(self):
+        bed = make_bed()
+        assert resolve_target(bed, "lb:1") is bed.yoda.instances[1]
+
+    def test_lb_serving_falls_back_to_pool_when_idle(self):
+        bed = make_bed()
+        assert resolve_target(bed, "lb:serving") is bed.yoda.instances[0]
+
+    def test_store_index(self):
+        bed = make_bed()
+        assert resolve_target(bed, "store:1") is bed.yoda.store_servers[1]
+
+    def test_store_vacuous_on_haproxy(self):
+        bed = make_bed(lb="haproxy")
+        assert resolve_target(bed, "store:0") is None
+
+    def test_backend_index(self):
+        bed = make_bed()
+        assert resolve_target(bed, "backend:0") is bed.backends["srv-0"]
+
+    def test_unknown_selector_raises(self):
+        bed = make_bed()
+        with pytest.raises(SimulationError):
+            resolve_target(bed, "nonsense:0")
+
+
+class TestApplication:
+    def test_crash_fails_host_and_revert_recovers(self):
+        bed = make_bed()
+        applied = apply_fault(bed, crash(0.0, "lb:0"))
+        victim = bed.yoda.instances[0]
+        assert victim.host.failed
+        assert applied.target_name == victim.host.name
+        applied.revert()
+        assert not victim.host.failed
+
+    def test_vacuous_fault_applies_as_noop(self):
+        bed = make_bed(lb="haproxy")
+        applied = apply_fault(bed, crash(0.0, "store:0"))
+        assert applied.revert is None and applied.target_name is None
+
+    def test_partition_blackholes_and_reverts(self):
+        bed = make_bed()
+        store = bed.yoda.store_servers[0]
+        applied = apply_fault(bed, partition(0.0, "store:0", "dc"))
+        assert bed.network._resolve_faults(
+            store.host, bed.yoda.instances[0].host).loss == 1.0
+        applied.revert()
+        assert bed.network._resolve_faults(
+            store.host, bed.yoda.instances[0].host) is None
+
+    def test_latency_spike_applies_one_direction(self):
+        bed = make_bed()
+        apply_fault(bed, latency_spike(0.0, 0.025, "internet", "dc"))
+        faults = bed.network._path_faults
+        assert faults[("internet", "dc")].extra_latency == 0.025
+        assert ("dc", "internet") not in faults
+
+    def test_flap_schedules_fail_recover_cycles(self):
+        bed = make_bed()
+        victim = bed.yoda.instances[0]
+        apply_fault(bed, flap(0.0, "lb:0", period=1.0, count=2))
+        bed.run(0.1)
+        assert victim.host.failed  # cycle 1 down
+        bed.run(0.5)
+        assert not victim.host.failed  # cycle 1 up
+        bed.run(0.5)
+        assert victim.host.failed  # cycle 2 down
+        bed.run(2.0)
+        assert not victim.host.failed  # done, recovered
+
+    def test_slow_cpu_sets_and_reverts_factor(self):
+        bed = make_bed()
+        applied = apply_fault(bed, slow_cpu(0.0, "lb:0", factor=30.0))
+        assert bed.yoda.instances[0].cpu.slowdown == 30.0
+        applied.revert()
+        assert bed.yoda.instances[0].cpu.slowdown == 1.0
+
+    def test_probe_loss_sets_controller_rate(self):
+        bed = make_bed()
+        applied = apply_fault(bed, probe_loss(0.0, 0.3))
+        assert bed.yoda.controller.probe_loss_rate == 0.3
+        applied.revert()
+        assert bed.yoda.controller.probe_loss_rate == 0.0
+
+    def test_probe_loss_vacuous_on_haproxy(self):
+        bed = make_bed(lb="haproxy")
+        assert apply_fault(bed, probe_loss(0.0, 0.3)).revert is None

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.controller import AutoscaleConfig
+from repro.core.controller import AutoscaleConfig, ControllerHealthView
 from repro.core.policy import weighted_split
 from repro.errors import ControllerError
 from repro.experiments.harness import Testbed, TestbedConfig
@@ -70,6 +70,83 @@ class TestMonitor:
         bed.backends["srv-0"].active_requests = 7
         bed.run(1.0)
         assert bed.yoda.controller.health_view.load("srv-0") == 7.0
+
+
+class TestHealthViewHysteresis:
+    def test_single_failed_probe_does_not_flap(self):
+        view = ControllerHealthView(down_after=2, up_after=2)
+        view.observe("b", False)
+        assert view.is_healthy("b")
+
+    def test_down_after_consecutive_failures(self):
+        view = ControllerHealthView(down_after=2, up_after=2)
+        view.observe("b", False)
+        view.observe("b", False)
+        assert not view.is_healthy("b")
+
+    def test_interleaved_success_resets_fail_streak(self):
+        view = ControllerHealthView(down_after=2, up_after=2)
+        view.observe("b", False)
+        view.observe("b", True)
+        view.observe("b", False)
+        assert view.is_healthy("b")
+
+    def test_up_needs_consecutive_successes(self):
+        view = ControllerHealthView(down_after=1, up_after=2)
+        view.observe("b", False)
+        assert not view.is_healthy("b")
+        view.observe("b", True)
+        assert not view.is_healthy("b")  # one success is not enough
+        view.observe("b", True)
+        assert view.is_healthy("b")
+
+    def test_update_bypasses_hysteresis(self):
+        view = ControllerHealthView(down_after=3, up_after=3)
+        view.update("b", False, 0.0)
+        assert not view.is_healthy("b")
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ControllerHealthView(down_after=0)
+
+    def test_lost_probes_do_not_flap_healthy_instances(self):
+        # regression for the probe-loss chaos scenario: sporadic dropped
+        # probes (below the down_after streak) must not unmap anything
+        bed = make_bed()
+        controller = bed.yoda.controller
+        rng = controller._probe_rng
+        interval = controller.monitor_interval / 2  # probe cadence
+
+        real_random = rng.random
+
+        def alternate_rounds():
+            # whole probe rounds vanish on alternate ticks: a 50% loss
+            # pattern in which no target ever sees down_after=2
+            # consecutive losses
+            lost = round(bed.loop.now() / interval) % 2 == 0
+            return 0.0 if lost else 1.0
+
+        rng.random = alternate_rounds
+        controller.probe_loss_rate = 0.5
+        try:
+            bed.run(3.0)
+        finally:
+            rng.random = real_random
+        assert controller.metrics.counter("probes_lost").value > 0
+        assert set(controller.live_instance_names()) == {
+            inst.name for inst in bed.yoda.instances
+        }
+        assert controller.metrics.counter(
+            "instance_failures_detected").value == 0
+
+    def test_real_failure_still_detected_under_probe_loss(self):
+        bed = make_bed()
+        controller = bed.yoda.controller
+        controller.probe_loss_rate = 0.3
+        victim = bed.yoda.instances[0]
+        victim.fail()
+        bed.run(3.0)
+        assert victim.name not in controller.live_instance_names()
 
 
 class TestVipLifecycle:

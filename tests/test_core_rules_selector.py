@@ -134,9 +134,25 @@ class TestSelection:
         table = RuleTable([weighted_split("w", "*.jpg", {"a": 1.0})])
         assert table.select(req("/x.css"), self.rng) is None
 
-    def test_all_backends_down_returns_none(self):
+    def test_all_backends_down_fails_open(self):
+        # panic routing: when the health view disqualifies every candidate,
+        # the scan retries ignoring health rather than resetting the client
         table = RuleTable([weighted_split("w", "*", {"a": 1.0})])
-        assert table.select(req(), self.rng, FakeView(healthy=set())) is None
+        result = table.select(req(), self.rng, FakeView(healthy=set()))
+        assert result is not None and result.backend == "a"
+        assert table.panic_selections == 1
+
+    def test_fail_open_keeps_real_loads(self):
+        table = RuleTable([least_loaded("ll", "*", ["a", "b"])])
+        view = FakeView(healthy=set(), loads={"a": 9.0, "b": 2.0})
+        assert table.select(req(), self.rng, view).backend == "b"
+
+    def test_fail_open_not_taken_while_any_backend_lives(self):
+        table = RuleTable([weighted_split("w", "*", {"a": 1.0, "b": 1.0})])
+        view = FakeView(healthy={"b"})
+        for _ in range(20):
+            assert table.select(req(), self.rng, view).backend == "b"
+        assert table.panic_selections == 0
 
     def test_least_loaded_picks_min(self):
         table = RuleTable([least_loaded("ll", "*", ["a", "b", "c"])])

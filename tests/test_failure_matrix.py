@@ -5,11 +5,13 @@ ACKs is persisted first, so an instance crash at *any* protocol step can
 never lose acknowledged state.  These tests sweep failure times across
 the whole flow lifetime (connection phase, tunneling, teardown) and
 combine instance failures with store failures and control-plane events --
-the flow must survive every time.
+the flow must survive every time, and the chaos invariant monitor audits
+every packet of every run while it does.
 """
 
 import pytest
 
+from repro.chaos.invariants import InvariantMonitor
 from repro.experiments.harness import Testbed, TestbedConfig
 from repro.http.client import BrowserClient
 
@@ -40,6 +42,20 @@ def fail_serving(bed):
     return None
 
 
+def attach_monitor(bed):
+    monitor = InvariantMonitor(bed)
+    bed.network.add_trace(monitor)
+    return monitor
+
+
+def assert_invariants(bed, monitor):
+    crashed = [i.name for i in bed.yoda.instances if i.host.failed]
+    verdicts = monitor.finalize(strict_before=bed.loop.now(),
+                                exclude_instances=crashed)
+    bad = [str(v.violations[0]) for v in verdicts if not v.ok]
+    assert not bad, f"invariant violations: {bad}"
+
+
 # the client SYN leaves at t=1.0 (after settle); one-way latency 30 ms.
 # This grid brackets every protocol step: before the SYN arrives, during
 # storage-a, around the SYN-ACK, during header collection, during the
@@ -49,14 +65,19 @@ FAIL_TIMES = [1.015, 1.031, 1.032, 1.06, 1.091, 1.093, 1.095, 1.12, 1.3,
 
 
 @pytest.mark.parametrize("fail_at", FAIL_TIMES)
-def test_flow_survives_failure_at_any_step(fail_at):
+@pytest.mark.parametrize("kill_store", [False, True],
+                         ids=["instance-only", "instance+store"])
+def test_flow_survives_failure_at_any_step(fail_at, kill_store):
     bed = make_bed()
+    monitor = attach_monitor(bed)
     results = start_fetch(bed)
 
-    def maybe_fail():
+    def strike():
+        if kill_store:
+            bed.yoda.store_servers[0].fail()
         fail_serving(bed)
 
-    bed.loop.call_at(fail_at, maybe_fail)
+    bed.loop.call_at(fail_at, strike)
     bed.run(120.0)
     assert results, f"no result for fail_at={fail_at}"
     assert results[0].ok, (
@@ -64,6 +85,7 @@ def test_flow_survives_failure_at_any_step(fail_at):
     )
     assert len(results[0].response.body) == 1_200_000
     assert results[0].retries_used == 0
+    assert_invariants(bed, monitor)
 
 
 def test_flow_survives_two_sequential_failures():

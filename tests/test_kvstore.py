@@ -184,3 +184,91 @@ class TestReplication:
         run_op(loop, kv.get, "k")
         assert kv.metrics.counter("set_issued").value == 1
         assert kv.metrics.counter("get_ok").value == 1
+
+
+class TestRetryHardening:
+    def test_timeout_with_partial_answers_still_ok(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        run_op(loop, kv.set, "k", b"v")
+        holders = [s for s in servers if s.peek("k")]
+        holders[0].fail()
+        # set to the same replica pair: one answers, one is silent
+        result = run_op(loop, kv.set, "k", b"v2")
+        assert result.ok and result.replicas_answered == 1
+        assert kv.metrics.counter("timeouts").value == 1
+
+    def test_all_silent_replicas_trigger_retry(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        kv.dead_after_timeouts = 1  # one strike: timeout -> mark dead
+        targets = cluster.replicas_for("k", 2)
+        for server in servers:
+            if server.name in targets:
+                server.fail()
+        # attempt 1 times out with zero answers; both silent targets are
+        # marked dead, so the retry re-picks live replicas and succeeds
+        result = run_op(loop, kv.set, "k", b"v")
+        assert kv.metrics.counter("retries").value >= 1
+        assert result.ok
+
+    def test_backoff_grows_per_attempt(self, cluster_world):
+        _, _, _, kv = cluster_world
+        assert kv._timeout_for(2) == 2 * kv._timeout_for(1)
+
+    def test_jitter_stretches_timeout(self, cluster_world):
+        loop, servers, cluster, _ = cluster_world
+        host = Host("cli2", ["10.1.0.2"])
+        kv = ReplicatingKvClient(host, loop, cluster, op_timeout=0.05,
+                                 rng=SeededRng(9))
+        base = kv.op_timeout
+        sampled = {kv._timeout_for(1) for _ in range(20)}
+        assert all(base <= t <= base * 1.25 for t in sampled)
+        assert len(sampled) > 1
+
+    def test_consecutive_timeouts_mark_server_dead(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        dead = servers[0]
+        dead.fail()
+        marked = 0
+        for i in range(40):
+            key = f"key-{i}"
+            if dead.name not in cluster.replicas_for(key, 2):
+                continue
+            run_op(loop, kv.set, key, b"v")
+            if dead.name not in cluster.ring:
+                marked = 1
+                break
+        assert marked == 1
+        assert kv.metrics.counter("servers_marked_dead").value == 1
+
+    def test_response_resets_timeout_streak(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        kv._consecutive_timeouts[servers[0].name] = 2
+        key = next(f"k{i}" for i in range(100)
+                   if servers[0].name in cluster.replicas_for(f"k{i}", 2))
+        run_op(loop, kv.set, key, b"v")
+        assert kv._consecutive_timeouts[servers[0].name] == 0
+
+
+class TestQuarantine:
+    def test_mark_live_refused_during_quarantine(self, cluster_world):
+        _, servers, cluster, _ = cluster_world
+        cluster.mark_dead(servers[0].name, until=5.0)
+        assert not cluster.mark_live(servers[0].name, now=1.0)
+        assert servers[0].name not in cluster.ring
+
+    def test_mark_live_allowed_after_quarantine(self, cluster_world):
+        _, servers, cluster, _ = cluster_world
+        cluster.mark_dead(servers[0].name, until=5.0)
+        assert cluster.mark_live(servers[0].name, now=5.0)
+        assert servers[0].name in cluster.ring
+
+    def test_mark_dead_keeps_longest_quarantine(self, cluster_world):
+        _, servers, cluster, _ = cluster_world
+        cluster.mark_dead(servers[0].name, until=5.0)
+        cluster.mark_dead(servers[0].name, until=3.0)
+        assert not cluster.mark_live(servers[0].name, now=4.0)
+
+    def test_mark_live_without_clock_is_unconditional(self, cluster_world):
+        _, servers, cluster, _ = cluster_world
+        cluster.mark_dead(servers[0].name, until=5.0)
+        assert cluster.mark_live(servers[0].name)  # legacy caller, no clock

@@ -190,3 +190,91 @@ def test_host_byte_counters(net):
     loop.run()
     assert a.metrics.counter("tx_bytes").value == 100  # 40 hdr + 60
     assert b.metrics.counter("rx_bytes").value == 100
+
+
+# ------------------------------------------------------------ path faults --
+@pytest.fixture
+def two_sites(net):
+    loop, network = net
+    a = network.attach(Host("a", ["10.0.0.1"], site="internet"))
+    b = network.attach(Host("b", ["10.0.0.2"], site="dc"))
+    got_a, got_b = [], []
+    a.set_handler(lambda p: got_a.append(p))
+    b.set_handler(lambda p: got_b.append(p))
+    return loop, network, a, b, got_a, got_b
+
+
+def test_per_path_loss_is_asymmetric(two_sites):
+    loop, network, a, b, got_a, got_b = two_sites
+    network.set_loss_rate(0.5, src="internet", dst="dc")
+    for _ in range(200):
+        a.send(_pkt("10.0.0.1", "10.0.0.2"))
+        b.send(_pkt("10.0.0.2", "10.0.0.1"))
+    loop.run()
+    assert 40 < len(got_b) < 160  # lossy direction, ~100 expected
+    assert len(got_a) == 200  # reverse path untouched
+
+
+def test_partition_blackholes_both_ways(two_sites):
+    loop, network, a, b, got_a, got_b = two_sites
+    network.partition("a", "b")
+    a.send(_pkt("10.0.0.1", "10.0.0.2"))
+    b.send(_pkt("10.0.0.2", "10.0.0.1"))
+    loop.run()
+    assert got_a == [] and got_b == []
+    assert network.metrics.counter("path_lost_packets").value == 2
+
+
+def test_asymmetric_partition_keeps_reverse_path(two_sites):
+    loop, network, a, b, got_a, got_b = two_sites
+    network.partition("a", "b", symmetric=False)
+    a.send(_pkt("10.0.0.1", "10.0.0.2"))
+    b.send(_pkt("10.0.0.2", "10.0.0.1"))
+    loop.run()
+    assert got_b == [] and len(got_a) == 1
+
+
+def test_heal_restores_partitioned_path(two_sites):
+    loop, network, a, b, _, got_b = two_sites
+    network.partition("a", "b")
+    network.heal("a", "b")
+    a.send(_pkt("10.0.0.1", "10.0.0.2"))
+    loop.run()
+    assert len(got_b) == 1
+
+
+def test_host_rule_overrides_site_rule(two_sites):
+    loop, network, a, b, _, _ = two_sites
+    network.set_extra_latency(0.030, src="internet", dst="dc")
+    network.set_extra_latency(0.010, src="a", dst="b")  # most specific wins
+    arrived = []
+    b.set_handler(lambda p: arrived.append(loop.now()))
+    a.send(_pkt("10.0.0.1", "10.0.0.2"))
+    loop.run()
+    assert arrived == [pytest.approx(0.011)]  # base 1 ms + host-pair 10 ms
+
+
+def test_duplicate_rate_delivers_twice(two_sites):
+    loop, network, a, b, _, got_b = two_sites
+    network.set_duplicate_rate(1.0, src="internet", dst="dc")
+    a.send(_pkt("10.0.0.1", "10.0.0.2"))
+    loop.run()
+    assert len(got_b) == 2
+    assert network.metrics.counter("duplicated_packets").value == 1
+
+
+def test_extra_latency_delays_one_direction(two_sites):
+    loop, network, a, b, got_a, _ = two_sites
+    network.set_extra_latency(0.030, src="dc", dst="internet")
+    arrived = []
+    a.set_handler(lambda p: arrived.append(loop.now()))
+    b.send(_pkt("10.0.0.2", "10.0.0.1"))
+    loop.run()
+    assert arrived == [pytest.approx(0.031)]  # base 1 ms + 30 ms spike
+
+
+def test_per_path_total_loss_allowed_global_still_rejected(net):
+    _, network = net
+    network.set_loss_rate(1.0, src="x", dst="y")  # blackhole form is legal
+    with pytest.raises(NetworkError):
+        network.set_loss_rate(1.0)

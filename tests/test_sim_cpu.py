@@ -84,6 +84,44 @@ def test_invalid_cores_rejected():
         CpuModel(EventLoop(), cores=0)
 
 
+def test_slowdown_stretches_service_time():
+    loop = EventLoop()
+    cpu = CpuModel(loop)
+    cpu.set_slowdown(30.0)
+    done = []
+    cpu.execute(0.1, lambda: done.append(loop.now()))
+    loop.run()
+    assert done == [pytest.approx(3.0)]
+
+
+def test_slowdown_reset_restores_speed():
+    loop = EventLoop()
+    cpu = CpuModel(loop)
+    cpu.set_slowdown(10.0)
+    cpu.set_slowdown(1.0)
+    done = []
+    cpu.execute(0.1, lambda: done.append(loop.now()))
+    loop.run()
+    assert done == [pytest.approx(0.1)]
+
+
+def test_slowdown_leaves_queued_work_untouched():
+    loop = EventLoop()
+    cpu = CpuModel(loop)
+    done = []
+    cpu.execute(1.0, lambda: done.append(loop.now()))
+    cpu.set_slowdown(10.0)  # gray failure strikes mid-burst
+    cpu.execute(1.0, lambda: done.append(loop.now()))
+    loop.run()
+    assert done[0] == pytest.approx(1.0)  # admitted before the fault
+    assert done[1] == pytest.approx(11.0)
+
+
+def test_invalid_slowdown_rejected():
+    with pytest.raises(ValueError):
+        CpuModel(EventLoop()).set_slowdown(0.0)
+
+
 def test_sampler_records_series():
     loop = EventLoop()
     cpu = CpuModel(loop)
