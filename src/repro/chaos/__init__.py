@@ -29,7 +29,12 @@ from repro.chaos.faults import (
     probe_loss,
     slow_cpu,
 )
-from repro.chaos.invariants import InvariantMonitor, Verdict, Violation
+from repro.chaos.invariants import (
+    InvariantMonitor,
+    ReplicationFactorMonitor,
+    Verdict,
+    Violation,
+)
 from repro.chaos.library import BUILTIN_SCENARIOS, get_scenario
 from repro.chaos.scenario import (
     Scenario,
@@ -43,6 +48,7 @@ __all__ = [
     "BUILTIN_SCENARIOS",
     "FaultSpec",
     "InvariantMonitor",
+    "ReplicationFactorMonitor",
     "Scenario",
     "ScenarioEngine",
     "ScenarioOutcome",

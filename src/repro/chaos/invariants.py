@@ -19,6 +19,13 @@ that audits the paper's Section 4.2 guarantees *while the run executes*:
 The monitor also folds every trace record into a SHA-256 digest, which is
 how scenario determinism (same seed -> byte-identical packet schedule) is
 asserted cheaply.
+
+:class:`ReplicationFactorMonitor` is a second, sampling monitor (a
+periodic process, not a trace tap) for the self-healing store: after any
+store-membership change, every live flow's durable records must be back
+on K live replicas within a bounded window -- the property the
+anti-entropy sweeper exists to restore, and the one plain client-side
+replication silently loses after the first server failure.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.core.flowstate import client_key
+from repro.kvstore.memcached import version_newer
+from repro.sim.process import PeriodicTask
 from repro.sim.tracing import TraceRecord
 from repro.tcp.segment import seq_diff
 
@@ -283,3 +292,98 @@ class InvariantMonitor:
     def digest(self) -> str:
         """SHA-256 over every trace record seen (determinism witness)."""
         return self._digest.hexdigest()
+
+
+REPLICATION_WINDOW = 2.0  # seconds to restore K replicas after a change
+REPLICATION_SAMPLE_INTERVAL = 0.25
+
+
+class ReplicationFactorMonitor:
+    """Audits store durability: K live replicas per record, restored
+    within a bounded window after any membership change.
+
+    Every ``interval`` seconds it walks the durable records of every live
+    flow on every live YODA instance and counts, omnisciently, the live
+    store servers holding the record at (or above) its current version --
+    stale copies on a diverged replica do not count, because recovering
+    from them would resurrect a dead flow snapshot.  A record may be
+    under-replicated transiently (that is what failures do); it becomes a
+    violation only when the deficit survives longer than ``window``
+    seconds.  The window is the whole grace period: it must cover failure
+    detection plus re-replication, and it does NOT restart on membership
+    changes -- otherwise a rolling restart (epoch bumps every couple of
+    seconds) could erode a record to zero copies without the monitor ever
+    saying so.
+    """
+
+    invariant = "replication-factor"
+
+    def __init__(self, bed, window: float = REPLICATION_WINDOW,
+                 interval: float = REPLICATION_SAMPLE_INTERVAL):
+        if bed.yoda is None:
+            raise ValueError("replication-factor monitoring needs a YODA bed")
+        self.bed = bed
+        self.window = window
+        self.checks = 0
+        self.violations: List[Violation] = []
+        self.violation_count = 0
+        self._deficit_since: Dict[str, float] = {}
+        self._violated: Set[str] = set()
+        self._task = PeriodicTask(bed.loop, interval, self._tick)
+
+    def start(self) -> None:
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _tick(self) -> None:
+        yoda = self.bed.yoda
+        now = self.bed.loop.now()
+        live_stores = [s for s in yoda.store_servers if not s.host.failed]
+        need = min(yoda.config.store_replicas, len(live_stores))
+        if need == 0:
+            return
+        sampled = set()
+        for instance in yoda.instances:
+            if instance.host.failed:
+                continue
+            for key, _payload, version in instance.durable_records():
+                if key in sampled:
+                    continue  # two instances racing over a migrating flow
+                sampled.add(key)
+                self.checks += 1
+                holders = sum(
+                    1 for s in live_stores
+                    if s.peek(key) is not None
+                    and not version_newer(version, s.peek_version(key))
+                )
+                if holders >= need:
+                    self._deficit_since.pop(key, None)
+                    self._violated.discard(key)
+                    continue
+                first = self._deficit_since.setdefault(key, now)
+                if now - first > self.window and key not in self._violated:
+                    self._violated.add(key)
+                    self.violation_count += 1
+                    if len(self.violations) < MAX_VIOLATIONS_KEPT:
+                        self.violations.append(Violation(
+                            self.invariant, now, key,
+                            f"{holders}/{need} live replicas for "
+                            f"{now - first:.2f}s (window {self.window}s, "
+                            f"epoch {yoda.kv_cluster.epoch})",
+                        ))
+        # flows that vanished while in deficit stop being tracked
+        for key in [k for k in self._deficit_since if k not in sampled]:
+            self._deficit_since.pop(key, None)
+            self._violated.discard(key)
+
+    def finalize(self) -> Verdict:
+        self.stop()
+        return Verdict(
+            invariant=self.invariant,
+            ok=self.violation_count == 0,
+            checked=self.checks,
+            violations=list(self.violations),
+            violation_count=self.violation_count,
+        )

@@ -127,6 +127,55 @@ _register(Scenario(
 ))
 
 _register(Scenario(
+    name="rolling-store-restart",
+    description=(
+        "Every TCPStore server restarts in sequence (each revives empty "
+        "-- Memcached keeps nothing), then a serving instance crashes.  "
+        "Between restarts the anti-entropy sweeper must refill the "
+        "recovered server and re-home the keys that moved, or the second "
+        "restart in the sequence erases the only surviving replica of "
+        "everything the first one held."
+    ),
+    faults=[
+        crash(1.0, "store:0", duration=1.2),
+        crash(4.0, "store:1", duration=1.2),
+        crash(7.0, "store:2", duration=1.2),
+        crash(9.5, "lb:serving"),
+    ],
+    # slow clients + big objects keep each page in flight ~5 s, so records
+    # written before a restart are still load-bearing at the next one --
+    # exactly the flows the anti-entropy sweeper exists to protect
+    object_bytes=4_500_000,
+    client_one_way_latency=0.120,
+    http_timeout=20.0,
+    drain=10.0,
+))
+
+_register(Scenario(
+    name="crash-heal-crash",
+    description=(
+        "A store replica crashes, heals empty, and then a *different* "
+        "replica crashes before the run ends; a serving instance dies in "
+        "between.  Keys replicated on exactly those two servers survive "
+        "only if read-repair/hinted-handoff/anti-entropy refilled the "
+        "healed server before the second crash -- plain client-side "
+        "replication silently drops to zero copies."
+    ),
+    faults=[
+        crash(1.0, "store:0", duration=1.2),
+        crash(3.6, "store:1", duration=6.0),
+        crash(3.9, "lb:serving"),
+    ],
+    # the instance crash lands while the healed-but-once-empty store:0 and
+    # the just-dead store:1 are the two replicas of the first page wave's
+    # records: recovery succeeds only if store:0 was refilled in time
+    object_bytes=4_500_000,
+    client_one_way_latency=0.120,
+    http_timeout=20.0,
+    drain=10.0,
+))
+
+_register(Scenario(
     name="probe-loss",
     description=(
         "30% of controller health probes vanish while a serving instance "

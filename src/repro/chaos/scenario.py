@@ -22,7 +22,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.chaos.faults import AppliedFault, FaultSpec, apply_fault
-from repro.chaos.invariants import InvariantMonitor, Verdict
+from repro.chaos.invariants import (
+    InvariantMonitor,
+    ReplicationFactorMonitor,
+    Verdict,
+)
 from repro.experiments.harness import Testbed, TestbedConfig
 
 
@@ -37,6 +41,7 @@ class Scenario:
     drain: float = 8.0  # quiesce window before invariants are finalized
     clients: int = 4
     http_timeout: float = 10.0
+    client_one_way_latency: float = 0.030  # higher = slower, longer-lived flows
     object_bytes: int = 300_000
     object_count: int = 6
     num_lb_instances: int = 4
@@ -59,6 +64,7 @@ class ScenarioOutcome:
     broken_pages: int
     trace_digest: str
     applied: List[str] = field(default_factory=list)  # resolved fault targets
+    repair: bool = True  # store self-healing enabled for this run
 
     @property
     def invariants_ok(self) -> bool:
@@ -75,7 +81,8 @@ class ScenarioOutcome:
 
     def render(self) -> str:
         lines = [
-            f"scenario {self.scenario} [{self.lb}] seed={self.seed}: "
+            f"scenario {self.scenario} [{self.lb}] seed={self.seed}"
+            f"{'' if self.repair else ' (repair OFF)'}: "
             f"{'PASS' if self.ok else 'BROKEN'}",
             f"  pages: {self.pages_loaded} loaded, {self.broken_pages} broken",
         ]
@@ -90,13 +97,16 @@ class ScenarioOutcome:
 class ScenarioEngine:
     """Run one scenario against one LB implementation."""
 
-    def __init__(self, scenario: Scenario, lb: str = "yoda", seed: int = 2016):
+    def __init__(self, scenario: Scenario, lb: str = "yoda", seed: int = 2016,
+                 repair: bool = True):
         self.scenario = scenario
         self.lb = lb
         self.seed = seed
+        self.repair = repair
         self.applied: List[AppliedFault] = []
         self.bed: Optional[Testbed] = None
         self.monitor: Optional[InvariantMonitor] = None
+        self.rf_monitor: Optional[ReplicationFactorMonitor] = None
 
     def build(self) -> Testbed:
         s = self.scenario
@@ -106,12 +116,19 @@ class ScenarioEngine:
             num_lb_instances=s.num_lb_instances,
             num_store_servers=s.num_store_servers,
             num_backends=s.num_backends,
+            client_one_way_latency=s.client_one_way_latency,
             corpus="flat",
             flat_object_bytes=s.object_bytes,
             flat_object_count=s.object_count,
+            kv_self_healing=self.repair,
         ))
         self.monitor = InvariantMonitor(self.bed)
         self.bed.network.add_trace(self.monitor)
+        if self.bed.yoda is not None:
+            # durability is audited even (especially) when repair is off:
+            # the verdict is how an ablated run reports its flow-state loss
+            self.rf_monitor = ReplicationFactorMonitor(self.bed)
+            self.rf_monitor.start()
         return self.bed
 
     def run(self) -> ScenarioOutcome:
@@ -130,6 +147,8 @@ class ScenarioEngine:
                    if a.spec.kind in ("crash", "flap") and a.target_name]
         verdicts = self.monitor.finalize(
             strict_before=load_end, exclude_instances=crashed)
+        if self.rf_monitor is not None:
+            verdicts.append(self.rf_monitor.finalize())
         return ScenarioOutcome(
             scenario=s.name,
             lb=self.lb,
@@ -142,6 +161,7 @@ class ScenarioEngine:
                 f"{a.spec.kind}:{a.target_name}" for a in self.applied
                 if a.target_name
             ],
+            repair=self.repair,
         )
 
     def _fire(self, spec: FaultSpec) -> None:
@@ -165,13 +185,14 @@ class ScenarioEngine:
 
 
 def run_scenario(scenario: Scenario, lb: str = "yoda",
-                 seed: int = 2016) -> ScenarioOutcome:
-    return ScenarioEngine(scenario, lb=lb, seed=seed).run()
+                 seed: int = 2016, repair: bool = True) -> ScenarioOutcome:
+    return ScenarioEngine(scenario, lb=lb, seed=seed, repair=repair).run()
 
 
-def run_contrast(scenario: Scenario, seed: int = 2016) -> Dict[str, ScenarioOutcome]:
+def run_contrast(scenario: Scenario, seed: int = 2016,
+                 repair: bool = True) -> Dict[str, ScenarioOutcome]:
     """The Figure 12 contrast: same schedule, both LB tiers."""
     return {
-        "yoda": run_scenario(scenario, lb="yoda", seed=seed),
+        "yoda": run_scenario(scenario, lb="yoda", seed=seed, repair=repair),
         "haproxy": run_scenario(scenario, lb="haproxy", seed=seed),
     }

@@ -114,6 +114,10 @@ def main(argv=None) -> int:
     chaosp.add_argument("--seed", type=int, default=2016)
     chaosp.add_argument("--no-baseline", action="store_true",
                         help="skip the HAProxy contrast run")
+    chaosp.add_argument("--no-repair", action="store_true",
+                        help="disable store self-healing (read-repair, "
+                             "hinted handoff, anti-entropy) -- the "
+                             "durability ablation")
     args = parser.parse_args(argv)
 
     if args.command == "chaos":
@@ -159,10 +163,12 @@ def _run_chaos(args) -> int:
             print(exc.args[0], file=sys.stderr)
             return 2
         started = time.perf_counter()
+        repair = not args.no_repair
         if args.no_baseline:
-            outcomes = {"yoda": run_scenario(scenario, lb="yoda", seed=args.seed)}
+            outcomes = {"yoda": run_scenario(scenario, lb="yoda",
+                                             seed=args.seed, repair=repair)}
         else:
-            outcomes = run_contrast(scenario, seed=args.seed)
+            outcomes = run_contrast(scenario, seed=args.seed, repair=repair)
         elapsed = time.perf_counter() - started
         for outcome in outcomes.values():
             print(outcome.render())

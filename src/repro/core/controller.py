@@ -144,6 +144,11 @@ class YodaController:
         self.probe_loss_rate = 0.0
         self._probe_rng = (rng or SeededRng(0)).fork("probes")
 
+        if self.kv_cluster is not None:
+            # account every store-membership transition (epoch bumps feed
+            # the per-instance anti-entropy sweepers)
+            self.kv_cluster.add_listener(self._on_kv_membership)
+
         for instance in instances:
             self._adopt(instance)
         # Probe faster than the advertised detection budget: ``down_after``
@@ -320,7 +325,7 @@ class YodaController:
         # mark_live respects client-imposed quarantines, so the monitor
         # cannot re-admit a server the data path just proved unresponsive.
         if self.kv_cluster is not None:
-            for name, server in self.kv_cluster.servers.items():
+            for name, server in list(self.kv_cluster.servers.items()):
                 ok = self._kv_health.observe(name, self._probe(server.host))
                 if not ok and name in self.kv_cluster.ring:
                     self.kv_cluster.mark_dead(name)
@@ -332,6 +337,23 @@ class YodaController:
             if self._instance_alive[name]:
                 for vip, count in instance.read_and_reset_traffic().items():
                     self.traffic_stats[vip] = self.traffic_stats.get(vip, 0) + count
+
+    # -------------------------------------------------------- store membership --
+    def _on_kv_membership(self, event: str, name: str) -> None:
+        self.metrics.counter(f"kv_membership_{event}").inc()
+
+    def decommission_store(self, name: str) -> None:
+        """Retire a Memcached server from the deployment for good.  Unlike
+        ``mark_dead`` this removes it from the membership map too, so
+        long-lived clients prune their per-server bookkeeping (timeout
+        streaks, hinted writes, pending-op targets) instead of carrying it
+        forever."""
+        if self.kv_cluster is None:
+            raise ControllerError("deployment has no kv cluster")
+        if not self.kv_cluster.remove(name):
+            raise ControllerError(f"unknown store server {name!r}")
+        self._kv_health.forget(name)
+        self.metrics.counter("stores_decommissioned").inc()
 
     # ------------------------------------------------------------- autoscale --
     def enable_autoscaling(self, config: Optional[AutoscaleConfig] = None) -> None:

@@ -47,6 +47,13 @@ SERVER_SYN_RTO = 3.0
 SERVER_SYN_RETRIES = 3
 FLOW_LINGER = 1.0
 FLOW_IDLE_TIMEOUT = 120.0
+# A flow that has moved no packets for this long stops claiming its
+# TCPStore records as durable state (see durable_records): after a false
+# failure detection bounces a flow to another instance and back, the
+# bypassed instance keeps a recovered copy that never sees another packet
+# -- it must not keep the records "owned" (tripping the replication
+# monitor) or re-replicate them after the real owner's clean-close delete.
+DURABLE_STALE_HORIZON = 2.0
 MSS = 1460
 CERT_RETRANSMIT = 0.5
 
@@ -268,6 +275,41 @@ class YodaInstance:
         out = dict(self.vip_bytes)
         for vip in self.vip_bytes:
             self.vip_bytes[vip] = 0
+        return out
+
+    def durable_records(self) -> List[Tuple[str, bytes, object]]:
+        """(key, payload, version) for every TCPStore record this
+        instance's live flows rely on -- the anti-entropy sweeper's work
+        list.  Closing flows are excluded (their records are being deleted)
+        and so are records whose initial write has not completed yet (the
+        in-flight storage op already targets the current replica set) or
+        whose version was already dropped by a delete (a finished flow
+        lingering in the table owns nothing durable anymore).  Flows quiet
+        past DURABLE_STALE_HORIZON are excluded too: a copy stranded here
+        by a transient misrouting may already be closed (and deleted) at
+        its real owner, and resurrecting its records would be wrong."""
+        out: List[Tuple[str, bytes, object]] = []
+        now = self.loop.now()
+        for flow in self.flows.values():
+            if flow.phase is FlowPhase.CLOSING:
+                continue
+            if now - flow.last_seen > DURABLE_STALE_HORIZON:
+                continue
+            state = flow.state
+            payload: Optional[bytes] = None
+            if flow.syn_stored:
+                key = state.storage_key()
+                version = self.tcpstore.version_of(key)
+                if version is not None:
+                    payload = state.to_bytes()
+                    out.append((key, payload, version))
+            if state.established and not flow.storage_b_inflight:
+                skey = state.server_storage_key()
+                if skey is not None:
+                    version = self.tcpstore.version_of(skey)
+                    if version is not None:
+                        payload = payload if payload is not None else state.to_bytes()
+                        out.append((skey, payload, version))
         return out
 
     # ------------------------------------------------------------- packet I/O --

@@ -19,6 +19,7 @@ from repro.core.tcpstore import TcpStore
 from repro.http.server import BackendHttpServer
 from repro.kvstore.client import MemcachedCluster, ReplicatingKvClient
 from repro.kvstore.memcached import MemcachedServer
+from repro.kvstore.repair import FlowStateRepairer
 from repro.l4lb.service import L4LoadBalancer
 from repro.net.host import Host
 from repro.net.network import Network
@@ -41,6 +42,13 @@ class YodaServiceConfig:
     kv_op_timeout: float = 0.1
     kv_max_retries: int = 2
     kv_dead_after_timeouts: int = 3
+    # self-healing store: read-repair + hinted handoff in the clients and
+    # an anti-entropy sweeper per instance.  Off = the paper's client-side
+    # replication exactly as published (the durability ablation).
+    self_healing: bool = True
+    repair_interval: float = 0.2
+    repair_rate: float = 200.0  # keys re-replicated per second, per instance
+    repair_burst: float = 40.0
     cost_model: YodaCostModel = field(default_factory=YodaCostModel)
     scan_cost_model: ScanCostModel = field(default_factory=ScanCostModel)
     instance_prefix: str = "10.1"
@@ -77,6 +85,7 @@ class YodaService:
         self.kv_cluster = MemcachedCluster(self.store_servers)
 
         self.instances: List[YodaInstance] = []
+        self.repairers: List[FlowStateRepairer] = []
         for i in range(cfg.num_instances):
             self.instances.append(self._build_instance(i))
         self._next_instance_id = cfg.num_instances
@@ -98,12 +107,22 @@ class YodaService:
             op_timeout=cfg.kv_op_timeout, max_retries=cfg.kv_max_retries,
             dead_after_timeouts=cfg.kv_dead_after_timeouts,
             rng=self.rng.fork(f"kv/{host.name}"),
+            read_repair=cfg.self_healing, hinted_handoff=cfg.self_healing,
         )
-        return YodaInstance(
+        instance = YodaInstance(
             host, self.loop, self.rng, TcpStore(kv),
             cost_model=cfg.cost_model, scan_cost_model=cfg.scan_cost_model,
             l4lb=self.l4lb,
         )
+        if cfg.self_healing:
+            repairer = FlowStateRepairer(
+                self.loop, kv, instance.durable_records,
+                interval=cfg.repair_interval, rate=cfg.repair_rate,
+                burst=cfg.repair_burst,
+            )
+            repairer.start()
+            self.repairers.append(repairer)
+        return instance
 
     # -- convenience -----------------------------------------------------------
     def new_spare_instance(self) -> YodaInstance:

@@ -10,32 +10,98 @@ Implements the storage protocol of Figure 3:
 
 The guiding invariant (Section 4.2): every packet a YODA instance ACKs is
 in TCPStore first, so no acknowledged information can be lost.
+
+Every write is stamped with a ``(monotonic_version, writer_id)`` version so
+replicas that diverge (a server recovering empty, a replica set that moved
+while a server was out) can be reconciled newest-wins by the client
+library.  The counter is per key; when a flow migrates, the adopting
+instance resumes counting above the version its recovery read returned, so
+its updates out-version the crashed writer's records everywhere.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.flowstate import FlowState, client_key, server_key
 from repro.kvstore.client import KvOpResult, ReplicatingKvClient
+from repro.kvstore.memcached import Version
 from repro.net.addresses import Endpoint
 
 
 class TcpStore:
     """One instance's handle on the shared flow-state store."""
 
-    def __init__(self, kv: ReplicatingKvClient):
+    def __init__(self, kv: ReplicatingKvClient, writer_id: Optional[str] = None):
         self.kv = kv
+        self.writer_id = writer_id or kv.host.name
         self.storage_a_ops = 0
         self.storage_b_ops = 0
+        # per-key: the version of the newest record we wrote or read; the
+        # next write for the key is stamped one above its counter
+        self._versions: Dict[str, Version] = {}
+
+    # -- versioning ------------------------------------------------------------
+    def _stamp(self, key: str) -> Version:
+        held = self._versions.get(key)
+        version = ((held[0] if held else 0) + 1, self.writer_id)
+        self._versions[key] = version
+        return version
+
+    def _adopt_version(self, key: str, version: Optional[Version]) -> None:
+        """Record the version a recovery read returned, so our next write
+        for the key supersedes it on every replica."""
+        if version is None:
+            return
+        held = self._versions.get(key)
+        if held is None or tuple(version) > tuple(held):
+            self._versions[key] = tuple(version)
+
+    def version_of(self, key: str) -> Optional[Version]:
+        """The version of the newest record known for ``key`` (what the
+        anti-entropy sweeper re-replicates at)."""
+        return self._versions.get(key)
+
+    def owned_records(self, state: FlowState) -> List[Tuple[str, bytes, Optional[Version]]]:
+        """The (key, payload, version) tuples that re-create this flow's
+        durable records -- the sweeper's unit of repair."""
+        payload = state.to_bytes()
+        out = [(state.storage_key(), payload,
+                self.version_of(state.storage_key()))]
+        skey = state.server_storage_key()
+        if skey is not None:
+            out.append((skey, payload, self.version_of(skey)))
+        return out
 
     # -- writes ----------------------------------------------------------------
+    MAX_REWRITE_ROUNDS = 3
+
+    def _write(self, key: str, payload: bytes,
+               on_done: Callable[[bool], None],
+               rounds: int = MAX_REWRITE_ROUNDS) -> None:
+        """One versioned set, with supersession convergence: ephemeral
+        ports recycle, so a brand-new flow can reuse the key of a dead one
+        whose orphaned record (left on an ex-replica by a delete that ran
+        against a shrunken ring) carries a higher version and silently
+        wins newest-wins.  When a replica refuses our write and reports
+        the version it kept, adopt it, re-stamp above it, and write again
+        -- the live flow must out-version the ghost before we acknowledge
+        anything that depends on this record being durable."""
+
+        def _cb(result: KvOpResult) -> None:
+            if result.superseded_by is not None and rounds > 1:
+                self._adopt_version(key, result.superseded_by)
+                self._write(key, payload, on_done, rounds - 1)
+                return
+            on_done(result.ok)
+
+        self.kv.set(key, payload, _cb, version=self._stamp(key))
+
     def store_client_syn(self, state: FlowState,
                          on_done: Callable[[bool], None]) -> None:
         """storage-a: one set, completing before the SYN-ACK is sent."""
         self.storage_a_ops += 1
-        self.kv.set(state.storage_key(), state.to_bytes(),
-                    lambda r: on_done(r.ok))
+        self._write(state.storage_key(), state.to_bytes(), on_done)
 
     def store_server_conn(self, state: FlowState,
                           on_done: Callable[[bool], None]) -> None:
@@ -48,42 +114,51 @@ class TcpStore:
         self.storage_b_ops += 1
         outcome = {"pending": 2, "ok": True}
 
-        def _one(result: KvOpResult) -> None:
+        def _one(ok: bool) -> None:
             outcome["pending"] -= 1
-            outcome["ok"] = outcome["ok"] and result.ok
+            outcome["ok"] = outcome["ok"] and ok
             if outcome["pending"] == 0:
                 on_done(outcome["ok"])
 
         payload = state.to_bytes()
-        self.kv.set(state.storage_key(), payload, _one)
-        self.kv.set(skey, payload, _one)
+        self._write(state.storage_key(), payload, _one)
+        self._write(skey, payload, _one)
 
     # -- reads (only on the recovery path) ----------------------------------------
     def get_by_client(self, client: Endpoint, vip: Endpoint,
                       on_done: Callable[[Optional[FlowState]], None]) -> None:
-        self.kv.get(client_key(client, vip), lambda r: on_done(self._decode(r)))
+        key = client_key(client, vip)
+        self.kv.get(key, lambda r: on_done(self._decode(key, r)))
 
     def get_by_server(self, vip_ip: str, snat_port: int, server: Endpoint,
                       on_done: Callable[[Optional[FlowState]], None]) -> None:
-        self.kv.get(server_key(vip_ip, snat_port, server),
-                    lambda r: on_done(self._decode(r)))
+        key = server_key(vip_ip, snat_port, server)
+        self.kv.get(key, lambda r: on_done(self._decode(key, r)))
 
     # -- removal (on FIN-ACK, Section 4.1) -------------------------------------------
     def remove(self, state: FlowState) -> None:
-        self.kv.delete(state.storage_key())
+        """Delete both records, each pinned to the version we last stamped
+        (compare-and-delete).  A flow can linger server-side past the
+        client's TIME_WAIT, so by the time this teardown runs the storage
+        key may already belong to a new incarnation of the recycled
+        4-tuple -- possibly on another instance after an LB membership
+        change.  Pinning the delete to *our* version means we only ever
+        destroy our own records."""
+        key = state.storage_key()
+        self.kv.delete(key, version=self._versions.pop(key, None))
         skey = state.server_storage_key()
         if skey is not None:
-            self.kv.delete(skey)
+            self.kv.delete(skey, version=self._versions.pop(skey, None))
 
     def remove_server_index(self, state: FlowState) -> None:
         """Drop only the server-side index entry (used when an HTTP/1.1
         backend switch retires the old server connection)."""
         skey = state.server_storage_key()
         if skey is not None:
-            self.kv.delete(skey)
+            self.kv.delete(skey, version=self._versions.pop(skey, None))
 
-    @staticmethod
-    def _decode(result: KvOpResult) -> Optional[FlowState]:
+    def _decode(self, key: str, result: KvOpResult) -> Optional[FlowState]:
         if not result.ok or result.value is None:
             return None
+        self._adopt_version(key, result.version)
         return FlowState.from_bytes(result.value)

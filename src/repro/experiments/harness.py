@@ -84,6 +84,7 @@ class TestbedConfig:
     kv_op_timeout: float = 0.1
     kv_max_retries: int = 2
     kv_dead_after_timeouts: int = 3
+    kv_self_healing: bool = True  # read-repair + hints + anti-entropy sweeper
     trace_packets: bool = False
     tls_certificate: object = None  # repro.http.tls.Certificate enables SSL
 
@@ -156,6 +157,7 @@ class Testbed:
                     kv_op_timeout=cfg.kv_op_timeout,
                     kv_max_retries=cfg.kv_max_retries,
                     kv_dead_after_timeouts=cfg.kv_dead_after_timeouts,
+                    self_healing=cfg.kv_self_healing,
                 ),
             )
             self.yoda.add_service(self.policy, self.backends)

@@ -10,17 +10,34 @@ TCPStore's latency optimizations from Section 4.3 map as follows:
 decentralized server selection = every client owns a ring copy; concurrent
 replica ops = the parallel fan-out here; long-lived TCP connections =
 modeled as direct datagram exchange (no per-op handshake).
+
+Beyond the paper, the client is *self-healing*:
+
+- **newest-wins reads**: replicas can disagree after a server recovers
+  empty or a key's replica set moves; reads gather every replica's answer
+  (bounded by the op timeout) and return the highest version, instead of
+  first-hit-wins.
+- **read-repair**: stale or missing replicas discovered by a read get the
+  newest record written back, fire-and-forget.
+- **hinted handoff**: replica writes that go unanswered are queued per
+  server and flushed when the membership view re-admits it (a recovered
+  Memcached comes back *empty*, so the flush is load-bearing).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import KvStoreError
 from repro.kvstore.hashring import HashRing
-from repro.kvstore.memcached import MEMCACHED_PORT, MemcachedServer
+from repro.kvstore.memcached import (
+    MEMCACHED_PORT,
+    MemcachedServer,
+    Version,
+    version_newer,
+)
 from repro.net.addresses import Endpoint
 from repro.net.host import Host
 from repro.net.packet import Packet
@@ -30,6 +47,8 @@ from repro.sim.process import Timer
 from repro.sim.random import SeededRng
 
 KV_CLIENT_PORT = 11210
+
+MAX_HINTS_PER_SERVER = 512
 
 
 class MemcachedCluster:
@@ -42,6 +61,11 @@ class MemcachedCluster:
     when they conclude a server is unresponsive from consecutive timeouts,
     so the controller's omniscient-looking monitor cannot instantly undo a
     data-path verdict (e.g. for a partitioned-but-running server).
+
+    Every membership change (add/dead/live/remove) bumps ``epoch`` and
+    notifies listeners; the anti-entropy sweeper keys off the epoch to
+    decide when replica sets may have moved, and clients key off the
+    events to flush hinted writes or prune state for removed servers.
     """
 
     def __init__(self, servers: Sequence[MemcachedServer]):
@@ -49,17 +73,38 @@ class MemcachedCluster:
             raise KvStoreError("cluster needs at least one server")
         self.servers: Dict[str, MemcachedServer] = {s.name: s for s in servers}
         self.ring = HashRing([s.name for s in servers])
+        self.epoch = 0
         self._quarantined_until: Dict[str, float] = {}
+        self._listeners: List[Callable[[str, str], None]] = []
+
+    def add_listener(self, fn: Callable[[str, str], None]) -> None:
+        """Register ``fn(event, server_name)``; events are ``"add"``,
+        ``"dead"``, ``"live"``, ``"removed"``."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[str, str], None]) -> None:
+        if fn in self._listeners:
+            self._listeners.remove(fn)
+
+    def _bump(self, event: str, name: str) -> None:
+        self.epoch += 1
+        for fn in list(self._listeners):
+            fn(event, name)
 
     def add(self, server: MemcachedServer) -> None:
+        known = server.name in self.servers
         self.servers[server.name] = server
-        self.ring.add(server.name)
+        if server.name not in self.ring:
+            self.ring.add(server.name)
+            self._bump("add" if not known else "live", server.name)
 
     def mark_dead(self, name: str, until: Optional[float] = None) -> None:
-        self.ring.remove(name)
         if until is not None:
             current = self._quarantined_until.get(name, 0.0)
             self._quarantined_until[name] = max(current, until)
+        if name in self.ring:
+            self.ring.remove(name)
+            self._bump("dead", name)
 
     def mark_live(self, name: str, now: Optional[float] = None) -> bool:
         """Re-admit a server to the ring.  Returns False (and does
@@ -69,7 +114,21 @@ class MemcachedCluster:
         if now is not None and now < self._quarantined_until.get(name, 0.0):
             return False
         self._quarantined_until.pop(name, None)
-        self.ring.add(name)
+        if name not in self.ring:
+            self.ring.add(name)
+            self._bump("live", name)
+        return True
+
+    def remove(self, name: str) -> bool:
+        """Decommission a server entirely: out of the ring *and* the
+        membership map.  Clients prune per-server state on the event."""
+        if name not in self.servers:
+            return False
+        del self.servers[name]
+        self._quarantined_until.pop(name, None)
+        if name in self.ring:
+            self.ring.remove(name)
+        self._bump("removed", name)
         return True
 
     def live_count(self) -> int:
@@ -79,6 +138,8 @@ class MemcachedCluster:
         return self.servers[name].endpoint
 
     def replicas_for(self, key: str, k: int) -> List[str]:
+        if not len(self.ring):
+            return []  # total blackout: callers fail open, not KeyError
         return self.ring.lookup_n(key, k)
 
 
@@ -90,6 +151,10 @@ class KvOpResult:
     key: str
     ok: bool
     value: Optional[bytes] = None
+    version: Optional[Version] = None
+    # a replica refused the write because it holds this newer version --
+    # the writer should adopt it and re-stamp (see TcpStore)
+    superseded_by: Optional[Version] = None
     started_at: float = 0.0
     finished_at: float = 0.0
     replicas_targeted: int = 0
@@ -102,16 +167,23 @@ class KvOpResult:
 
 class _PendingOp:
     def __init__(self, op: str, key: str, value: Optional[bytes],
-                 targets: List[str], started_at: float,
-                 on_done: Callable[[KvOpResult], None]):
+                 version: Optional[Version], targets: List[str],
+                 started_at: float, on_done: Callable[[KvOpResult], None]):
         self.op = op
         self.key = key
         self.value = value
+        self.version = version
         self.targets = targets
         self.on_done = on_done
         self.result = KvOpResult(op=op, key=key, ok=False, started_at=started_at,
                                  replicas_targeted=len(targets))
-        self.answered_by: set = set()
+        self.answered_by: set = set()  # any attempt (dup suppression, streaks)
+        # current-attempt bookkeeping: a straggler ack from an *old* target
+        # set must never complete an op whose retry re-picked targets
+        self.attempt_answered: set = set()
+        self.replica_versions: Dict[str, Optional[Version]] = {}
+        self.best_version: Optional[Version] = None
+        self.best_value: Optional[bytes] = None
         self.successes = 0
         self.attempts = 1
         self.finished = False
@@ -135,6 +207,10 @@ class ReplicatingKvClient:
             ring even if the controller believes it healthy.
         rng: optional randomness for retry jitter (decorrelates the
             retry storms of many clients hitting the same dead server).
+        read_repair: write the newest version back to replicas a read
+            found stale or missing.
+        hinted_handoff: queue replica writes that went unanswered and
+            flush them when the server rejoins the ring.
     """
 
     def __init__(
@@ -148,6 +224,8 @@ class ReplicatingKvClient:
         dead_after_timeouts: int = 3,
         quarantine: float = 1.0,
         rng: Optional[SeededRng] = None,
+        read_repair: bool = True,
+        hinted_handoff: bool = True,
     ):
         if replicas < 1:
             raise KvStoreError(f"replicas must be >= 1, got {replicas}")
@@ -160,23 +238,40 @@ class ReplicatingKvClient:
         self.dead_after_timeouts = dead_after_timeouts
         self.quarantine = quarantine
         self.rng = rng
+        self.read_repair = read_repair
+        self.hinted_handoff = hinted_handoff
         self.metrics = MetricRegistry(f"{host.name}.kv")
         self._req_ids = itertools.count(1)
         self._pending: Dict[int, _PendingOp] = {}
         self._consecutive_timeouts: Dict[str, int] = {}
+        # server -> {key -> (version, value)}: writes owed to a server that
+        # was silent/quarantined when they happened
+        self._hints: Dict[str, Dict[str, Tuple[Optional[Version], bytes]]] = {}
+        cluster.add_listener(self._on_cluster_event)
 
     # -- public API ---------------------------------------------------------
     def set(self, key: str, value: bytes,
-            on_done: Optional[Callable[[KvOpResult], None]] = None) -> None:
-        self._issue("set", key, value, on_done)
+            on_done: Optional[Callable[[KvOpResult], None]] = None,
+            version: Optional[Version] = None) -> None:
+        self._issue("set", key, value, on_done, version=version)
 
     def get(self, key: str,
             on_done: Callable[[KvOpResult], None]) -> None:
         self._issue("get", key, None, on_done)
 
     def delete(self, key: str,
-               on_done: Optional[Callable[[KvOpResult], None]] = None) -> None:
-        self._issue("delete", key, None, on_done)
+               on_done: Optional[Callable[[KvOpResult], None]] = None,
+               version: Optional[Version] = None) -> None:
+        """Remove ``key``.  When ``version`` is given this is a
+        compare-and-delete: each replica drops the record only if it holds
+        exactly that version, so a delete issued by a stale incarnation of
+        a recycled flow key can never destroy the live incarnation's
+        records (ephemeral-port reuse makes that race real, not
+        theoretical)."""
+        # a delete supersedes any write still owed to a silent replica
+        for hints in self._hints.values():
+            hints.pop(key, None)
+        self._issue("delete", key, None, on_done, version=version)
 
     def handle_response(self, pkt: Packet) -> bool:
         """Give the client a chance to consume an incoming packet.
@@ -190,20 +285,37 @@ class ReplicatingKvClient:
         self._on_response(resp)
         return True
 
+    def hint_count(self, server: Optional[str] = None) -> int:
+        if server is not None:
+            return len(self._hints.get(server, ()))
+        return sum(len(h) for h in self._hints.values())
+
     # -- internals ------------------------------------------------------------
     def _issue(self, op: str, key: str, value: Optional[bytes],
-               on_done: Optional[Callable[[KvOpResult], None]]) -> None:
+               on_done: Optional[Callable[[KvOpResult], None]],
+               version: Optional[Version] = None) -> None:
+        on_done = on_done or (lambda r: None)
         targets = self.cluster.replicas_for(key, self.replicas)
+        started = self.loop.now()
         if not targets:
-            raise KvStoreError("no live Memcached servers")
+            # Fail open, asynchronously: the LB hot path must see a failed
+            # result through the normal callback, never a synchronous
+            # exception mid-packet (a full store blackout is survivable;
+            # an unwound packet handler is not).
+            self.metrics.counter("no_live_servers").inc()
+            result = KvOpResult(op=op, key=key, ok=False, started_at=started,
+                                finished_at=started)
+            self.loop.call_soon(on_done, result)
+            return
         req_id = next(self._req_ids)
-        pending = _PendingOp(op, key, value, targets, self.loop.now(),
-                             on_done or (lambda r: None))
+        pending = _PendingOp(op, key, value, version, targets, started, on_done)
         self._pending[req_id] = pending
         self._send_attempt(req_id, pending)
         self.metrics.counter(f"{op}_issued").inc()
 
     def _send_attempt(self, req_id: int, pending: _PendingOp) -> None:
+        pending.attempt_answered = set()
+        pending.replica_versions = {}
         pending.timer = Timer(self.loop, lambda: self._on_timeout(req_id))
         pending.timer.start(self._timeout_for(pending.attempts))
         for name in pending.targets:
@@ -214,7 +326,10 @@ class ReplicatingKvClient:
                     dst=endpoint,
                     payload=pending.value or b"",
                     meta={"kv": {"op": pending.op, "key": pending.key,
-                                 "value": pending.value, "req_id": req_id}},
+                                 "value": pending.value,
+                                 "version": pending.version,
+                                 "req_id": req_id,
+                                 "attempt": pending.attempts}},
                 )
             )
 
@@ -233,18 +348,35 @@ class ReplicatingKvClient:
         pending = self._pending.get(req_id)
         if pending is None or pending.finished:
             return
-        if server in pending.answered_by:
-            return  # duplicate delivery or straggler from an earlier attempt
+        current = resp.get("attempt") == pending.attempts
+        if server in pending.answered_by and not (
+                current and server not in pending.attempt_answered):
+            return  # duplicate delivery
         pending.answered_by.add(server)
         pending.result.replicas_answered = len(pending.answered_by)
         if resp["ok"]:
             pending.successes += 1
-            if pending.op == "get" and pending.result.value is None:
-                pending.result.value = resp["value"]
-        if pending.op == "get" and resp["ok"]:
-            # first hit wins: lowest possible read latency
-            self._complete(req_id, ok=True)
-        elif pending.answered_by >= set(pending.targets):
+            if pending.op == "get":
+                version = resp.get("version")
+                if (pending.best_value is None
+                        or version_newer(version, pending.best_version)):
+                    pending.best_version = (tuple(version) if version
+                                            else None)
+                    pending.best_value = resp["value"]
+        elif pending.op == "set":
+            held = resp.get("version")
+            if version_newer(held, pending.version) and version_newer(
+                    held, pending.result.superseded_by):
+                pending.result.superseded_by = tuple(held)
+        if current and server in pending.targets:
+            pending.attempt_answered.add(server)
+            if pending.op == "get":
+                pending.replica_versions[server] = (
+                    tuple(resp["version"]) if resp.get("version") else None
+                ) if resp["ok"] else None
+        # Stragglers from a superseded attempt contribute data (a hit is a
+        # hit) but never completion: only current-attempt coverage counts.
+        if pending.attempt_answered >= set(pending.targets):
             self._complete(req_id, ok=pending.successes > 0)
 
     def _on_timeout(self, req_id: int) -> None:
@@ -253,7 +385,7 @@ class ReplicatingKvClient:
             return
         self.metrics.counter("timeouts").inc()
         for name in pending.targets:
-            if name not in pending.answered_by:
+            if name not in pending.attempt_answered:
                 self._penalize(name)
         if pending.successes > 0:
             # Partial answers are enough: the paper's availability-first
@@ -292,7 +424,95 @@ class ReplicatingKvClient:
         pending.result.ok = ok
         pending.result.finished_at = self.loop.now()
         if pending.op == "get":
+            pending.result.value = pending.best_value
+            pending.result.version = pending.best_version
             pending.result.ok = ok and pending.result.value is not None
+            if pending.result.ok:
+                self._repair_after_read(pending)
+        elif pending.op == "set":
+            pending.result.version = pending.version
+            if self.hinted_handoff and pending.value is not None:
+                for name in pending.targets:
+                    if name not in pending.attempt_answered:
+                        self._add_hint(name, pending.key, pending.version,
+                                       pending.value)
         self.metrics.histogram(f"{pending.op}_latency").observe(pending.result.latency)
         self.metrics.counter(f"{pending.op}_{'ok' if pending.result.ok else 'fail'}").inc()
         pending.on_done(pending.result)
+
+    # -- self-healing: read-repair + hinted handoff ---------------------------
+    def _repair_after_read(self, pending: _PendingOp) -> None:
+        """A read established the newest version; bring the rest of the
+        replica set up to it (answered-stale replicas immediately, silent
+        ones via a hint for when they return)."""
+        if pending.best_value is None:
+            return
+        for name in pending.targets:
+            if name in pending.replica_versions:
+                held = pending.replica_versions[name]
+                if self.read_repair and version_newer(pending.best_version, held):
+                    self._send_direct(name, pending.key, pending.best_value,
+                                      pending.best_version)
+                    self.metrics.counter("read_repairs").inc()
+            elif name not in pending.attempt_answered and self.hinted_handoff:
+                self._add_hint(name, pending.key, pending.best_version,
+                               pending.best_value)
+
+    def _send_direct(self, name: str, key: str, value: bytes,
+                     version: Optional[Version]) -> None:
+        """Fire-and-forget single-replica set (repair/hint traffic); the
+        response, if any, is ignored (no pending op is registered)."""
+        if name not in self.cluster.servers:
+            return
+        self.host.send(
+            Packet(
+                src=Endpoint(self.host.ip, KV_CLIENT_PORT),
+                dst=self.cluster.endpoint(name),
+                payload=value,
+                meta={"kv": {"op": "set", "key": key, "value": value,
+                             "version": version,
+                             "req_id": next(self._req_ids),
+                             "attempt": 0}},
+            )
+        )
+
+    def _add_hint(self, server: str, key: str, version: Optional[Version],
+                  value: bytes) -> None:
+        hints = self._hints.setdefault(server, {})
+        held = hints.get(key)
+        if held is not None and version_newer(held[0], version):
+            return  # already owe a newer write
+        if key not in hints and len(hints) >= MAX_HINTS_PER_SERVER:
+            self.metrics.counter("hints_dropped").inc()
+            return
+        hints[key] = (version, value)
+        self.metrics.counter("hints_queued").inc()
+
+    def _flush_hints(self, server: str) -> None:
+        hints = self._hints.pop(server, None)
+        if not hints:
+            return
+        for key, (version, value) in hints.items():
+            self._send_direct(server, key, value, version)
+        self.metrics.counter("hints_flushed").inc(len(hints))
+
+    # -- membership events -----------------------------------------------------
+    def _on_cluster_event(self, event: str, name: str) -> None:
+        if event in ("live", "add"):
+            # the server is back (empty, if it restarted): settle our debts
+            self._flush_hints(name)
+        elif event == "removed":
+            # decommissioned for good: drop every per-server residue and
+            # release pending ops still waiting on it
+            self._consecutive_timeouts.pop(name, None)
+            self._hints.pop(name, None)
+            for req_id in list(self._pending):
+                pending = self._pending.get(req_id)
+                if (pending is None or pending.finished
+                        or name not in pending.targets):
+                    continue
+                pending.targets = [t for t in pending.targets if t != name]
+                pending.result.replicas_targeted = len(pending.targets)
+                if (not pending.targets
+                        or pending.attempt_answered >= set(pending.targets)):
+                    self._complete(req_id, ok=pending.successes > 0)

@@ -163,3 +163,67 @@ class TestDigest:
         other.record(rec(9.0, CLIENT, vip_ep, ".", point="yoda-0",
                          direction="rx"))
         assert monitor.digest() != other.digest()
+
+
+class TestReplicationFactorMonitor:
+    """Durability audit: live replicas per record, with a bounded grace
+    window that does not restart on membership churn."""
+
+    def _bed_with_record(self, num_stores=2):
+        from repro.chaos.invariants import ReplicationFactorMonitor
+        bed = make_bed(num_store_servers=num_stores)
+        inst = bed.yoda.instances[0]
+        inst.durable_records = lambda: [("k", b"v", (1, "w"))]
+        for store in bed.yoda.store_servers[:2]:
+            store._set("k", b"v", version=(1, "w"))
+        monitor = ReplicationFactorMonitor(bed, window=1.0, interval=0.25)
+        monitor.start()
+        return bed, monitor
+
+    def test_full_replication_is_clean(self):
+        bed, monitor = self._bed_with_record()
+        bed.loop.run(until=3.0)
+        assert monitor.checks > 0
+        assert monitor.violation_count == 0
+
+    def test_deficit_fires_once_after_the_window(self):
+        bed, monitor = self._bed_with_record()
+        bed.loop.run(until=1.0)
+        bed.yoda.store_servers[1]._delete("k")
+        bed.loop.run(until=1.8)  # deficit younger than the window
+        assert monitor.violation_count == 0
+        bed.loop.run(until=4.0)
+        assert monitor.violation_count == 1  # once per key, not per sample
+
+    def test_restored_replica_clears_the_deficit(self):
+        bed, monitor = self._bed_with_record()
+        bed.loop.run(until=1.0)
+        bed.yoda.store_servers[1]._delete("k")
+        bed.loop.run(until=1.8)
+        bed.yoda.store_servers[1]._set("k", b"v", version=(1, "w"))
+        bed.loop.run(until=4.0)
+        assert monitor.violation_count == 0
+
+    def test_stale_copy_does_not_count_as_a_replica(self):
+        bed, monitor = self._bed_with_record()
+        bed.loop.run(until=1.0)
+        # replace one copy with an older snapshot: recovering from it
+        # would resurrect a dead version of the flow
+        bed.yoda.store_servers[1]._delete("k")
+        bed.yoda.store_servers[1]._set("k", b"v0", version=(0, "w"))
+        bed.loop.run(until=4.0)
+        assert monitor.violation_count == 1
+
+    def test_window_survives_membership_churn(self):
+        # a rolling restart must not reset the grace period: epoch bumps
+        # every second would otherwise make the deficit clock unfalsifiable
+        bed, monitor = self._bed_with_record(num_stores=3)
+        bystander = bed.yoda.store_servers[2]
+        bed.loop.run(until=1.0)
+        bed.yoda.store_servers[1]._delete("k")
+        bed.loop.run(until=1.6)
+        bed.yoda.kv_cluster.mark_dead(bystander.name)
+        bed.loop.run(until=1.9)
+        bed.yoda.kv_cluster.mark_live(bystander.name)
+        bed.loop.run(until=4.0)
+        assert monitor.violation_count == 1

@@ -95,3 +95,33 @@ class TestContrast:
         # broken run -- HAProxy loses flows, it does not corrupt them
         haproxy = {v.invariant: v for v in outcomes["haproxy"].verdicts}
         assert haproxy["acked-byte-loss"].checked > 0
+
+
+class TestRepairAblation:
+    """The self-healing store is falsifiable: same schedule, repair off,
+    and the durability verdict must report the flow-state loss."""
+
+    def test_new_store_scenarios_are_registered(self):
+        for name in ("rolling-store-restart", "crash-heal-crash"):
+            scenario = get_scenario(name)
+            assert any(f.target.startswith("store") for f in scenario.faults)
+            assert any(f.target.startswith("lb") for f in scenario.faults)
+
+    def test_rolling_restart_passes_with_repair_and_fails_without(self):
+        scenario = get_scenario("rolling-store-restart")
+        on = run_scenario(scenario, lb="yoda", seed=2016, repair=True)
+        off = run_scenario(scenario, lb="yoda", seed=2016, repair=False)
+        rf_on = next(v for v in on.verdicts
+                     if v.invariant == "replication-factor")
+        rf_off = next(v for v in off.verdicts
+                      if v.invariant == "replication-factor")
+        assert on.ok and rf_on.ok
+        assert not off.ok and not rf_off.ok
+        assert "(repair OFF)" in off.render()
+
+    def test_ablation_is_deterministic(self):
+        scenario = get_scenario("crash-heal-crash")
+        first = run_scenario(scenario, lb="yoda", seed=2016, repair=False)
+        second = run_scenario(scenario, lb="yoda", seed=2016, repair=False)
+        assert first.trace_digest == second.trace_digest
+        assert first.violation_count == second.violation_count > 0

@@ -249,6 +249,316 @@ class TestRetryHardening:
         assert kv._consecutive_timeouts[servers[0].name] == 0
 
 
+class TestHashRingRebalance:
+    """Consistent hashing's contract under membership churn: adding or
+    removing one node only moves (roughly) that node's share of keys, and
+    a key's replica *set* never changes by more than one member."""
+
+    KEYS = [f"flow-{i}" for i in range(400)]
+
+    @given(st.integers(min_value=3, max_value=8), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_add_one_node_moves_at_most_its_share(self, n, salt):
+        nodes = [f"node-{salt}-{i}" for i in range(n)]
+        ring = HashRing(nodes)
+        before = {k: ring.lookup(k) for k in self.KEYS}
+        ring.add(f"node-{salt}-new")
+        moved = sum(1 for k in self.KEYS if ring.lookup(k) != before[k])
+        # fair share is 1/(n+1); allow vnode-variance slack
+        assert moved / len(self.KEYS) <= 1.0 / (n + 1) + 0.15
+        # every moved key moved *to* the new node, never between old ones
+        for k in self.KEYS:
+            if ring.lookup(k) != before[k]:
+                assert ring.lookup(k) == f"node-{salt}-new"
+
+    @given(st.integers(min_value=3, max_value=8), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_remove_one_node_moves_only_its_keys(self, n, salt):
+        nodes = [f"node-{salt}-{i}" for i in range(n)]
+        ring = HashRing(nodes)
+        before = {k: ring.lookup(k) for k in self.KEYS}
+        victim = nodes[salt % n]
+        ring.remove(victim)
+        share = sum(1 for o in before.values() if o == victim) / len(self.KEYS)
+        assert share <= 1.0 / n + 0.15
+        for k, owner in before.items():
+            if owner != victim:
+                assert ring.lookup(k) == owner
+
+    @given(st.integers(min_value=3, max_value=8), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_lookup_n_changes_by_at_most_one_on_add(self, n, salt):
+        nodes = [f"node-{salt}-{i}" for i in range(n)]
+        ring = HashRing(nodes)
+        before = {k: set(ring.lookup_n(k, 2)) for k in self.KEYS}
+        ring.add(f"node-{salt}-new")
+        for k in self.KEYS:
+            after = set(ring.lookup_n(k, 2))
+            assert len(before[k] - after) <= 1
+
+    @given(st.integers(min_value=3, max_value=8), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_lookup_n_changes_by_at_most_one_on_remove(self, n, salt):
+        nodes = [f"node-{salt}-{i}" for i in range(n)]
+        ring = HashRing(nodes)
+        before = {k: set(ring.lookup_n(k, 2)) for k in self.KEYS}
+        victim = nodes[salt % n]
+        ring.remove(victim)
+        for k in self.KEYS:
+            after = set(ring.lookup_n(k, 2))
+            # the surviving replica stays in the set
+            assert len(before[k] - after) <= 1
+            assert before[k] - after <= {victim}
+
+
+class TestVersioning:
+    def test_version_newer_total_order(self):
+        from repro.kvstore.memcached import version_newer
+        assert version_newer((2, "a"), (1, "z"))
+        assert version_newer((1, "b"), (1, "a"))  # writer id breaks ties
+        assert version_newer((1, "a"), None)  # any stamp beats legacy
+        assert not version_newer(None, (1, "a"))
+        assert not version_newer(None, None)
+        assert not version_newer((1, "a"), (1, "a"))
+
+    def test_server_refuses_stale_set(self):
+        loop = EventLoop()
+        net = Network(loop, SeededRng(1))
+        host = net.attach(Host("mc", ["10.2.0.1"]))
+        server = MemcachedServer(host, loop)
+        server._set("k", b"new", version=(3, "w1"))
+        server._set("k", b"old", version=(2, "w0"))
+        assert server.peek("k") == b"new"
+        assert server.peek_version("k") == (3, "w1")
+        assert server.stale_sets_refused == 1
+
+    def test_unversioned_set_still_overwrites_unversioned(self):
+        loop = EventLoop()
+        net = Network(loop, SeededRng(1))
+        host = net.attach(Host("mc", ["10.2.0.1"]))
+        server = MemcachedServer(host, loop)
+        server._set("k", b"one")
+        server._set("k", b"two")
+        assert server.peek("k") == b"two"
+
+    def test_compare_and_delete_refuses_other_writers_record(self):
+        # a recycled flow key: the dead incarnation's late teardown must
+        # not destroy the live incarnation's record
+        loop = EventLoop()
+        net = Network(loop, SeededRng(1))
+        host = net.attach(Host("mc", ["10.2.0.1"]))
+        server = MemcachedServer(host, loop)
+        server._set("k", b"live", version=(2, "w1"))
+        assert not server._delete("k", version=(2, "w0"))
+        assert not server._delete("k", version=(3, "w0"))  # newer stamp, still not ours
+        assert server.peek("k") == b"live"
+        assert server.stale_deletes_refused == 2
+
+    def test_compare_and_delete_removes_exact_match(self):
+        loop = EventLoop()
+        net = Network(loop, SeededRng(1))
+        host = net.attach(Host("mc", ["10.2.0.1"]))
+        server = MemcachedServer(host, loop)
+        server._set("k", b"v", version=(2, "w1"))
+        assert server._delete("k", version=(2, "w1"))
+        assert server.peek("k") is None
+        assert not server._delete("k", version=(2, "w1"))  # already gone
+
+    def test_unversioned_delete_is_unconditional(self):
+        loop = EventLoop()
+        net = Network(loop, SeededRng(1))
+        host = net.attach(Host("mc", ["10.2.0.1"]))
+        server = MemcachedServer(host, loop)
+        server._set("k", b"v", version=(9, "w"))
+        assert server._delete("k")
+        server._set("k2", b"v")  # legacy unversioned record
+        assert server._delete("k2", version=(1, "w"))  # versioned clears legacy
+
+    def test_refused_set_reports_superseding_version(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        run_op(loop, lambda cb: kv.set("k", b"ghost", cb, version=(5, "w0")))
+        result = run_op(loop, lambda cb: kv.set("k", b"mine", cb,
+                                                version=(1, "w1")))
+        assert result.superseded_by == (5, "w0")
+
+    def test_versioned_delete_travels_through_client(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        run_op(loop, lambda cb: kv.set("k", b"v", cb, version=(3, "w")))
+        holders = [s for s in servers if s.peek("k")]
+        run_op(loop, lambda cb: kv.delete("k", cb, version=(2, "other")))
+        assert all(s.peek("k") == b"v" for s in holders)  # refused everywhere
+        run_op(loop, lambda cb: kv.delete("k", cb, version=(3, "w")))
+        assert all(s.peek("k") is None for s in holders)
+
+    def test_set_version_travels_to_replicas_and_back(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        run_op(loop, lambda cb: kv.set("k", b"v", cb, version=(7, "w")))
+        for s in servers:
+            if s.peek("k"):
+                assert s.peek_version("k") == (7, "w")
+        result = run_op(loop, kv.get, "k")
+        assert result.ok and result.version == (7, "w")
+
+
+class TestNewestWinsAndReadRepair:
+    def test_get_returns_newest_of_diverged_replicas(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        run_op(loop, lambda cb: kv.set("k", b"old", cb, version=(1, "w")))
+        # one replica silently diverges ahead (e.g. our view missed a write)
+        holders = [s for s in servers if s.peek("k")]
+        holders[0]._set("k", b"newest", version=(5, "w"))
+        result = run_op(loop, kv.get, "k")
+        assert result.ok and result.value == b"newest"
+        assert result.version == (5, "w")
+
+    def test_read_repair_refills_restarted_replica(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        run_op(loop, lambda cb: kv.set("k", b"v", cb, version=(1, "w")))
+        victim = next(s for s in servers if s.peek("k"))
+        victim.fail()
+        victim.recover()  # Memcached keeps nothing: back, but empty
+        assert victim.peek("k") is None
+        result = run_op(loop, kv.get, "k")
+        assert result.ok and result.value == b"v"
+        loop.run(until=loop.now() + 0.5)  # fire-and-forget repair write lands
+        assert victim.peek("k") == b"v"
+        assert victim.peek_version("k") == (1, "w")
+        assert kv.metrics.counter("read_repairs").value >= 1
+
+    def test_read_repair_can_be_disabled(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        kv.read_repair = False
+        run_op(loop, lambda cb: kv.set("k", b"v", cb, version=(1, "w")))
+        victim = next(s for s in servers if s.peek("k"))
+        victim.fail()
+        victim.recover()
+        result = run_op(loop, kv.get, "k")
+        assert result.ok
+        loop.run(until=loop.now() + 0.5)
+        assert victim.peek("k") is None
+
+
+class TestHintedHandoff:
+    def test_silent_replica_gets_hint_then_flush_on_return(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        targets = cluster.replicas_for("k", 2)
+        victim = next(s for s in servers if s.name == targets[0])
+        victim.fail()
+        result = run_op(loop, lambda cb: kv.set("k", b"v", cb, version=(1, "w")))
+        assert result.ok  # partial answers are enough
+        assert kv.hint_count(victim.name) == 1
+        cluster.mark_dead(victim.name)  # detection catches up with reality
+        victim.recover()  # empty
+        cluster.mark_live(victim.name)  # membership re-admits it -> flush
+        loop.run(until=loop.now() + 0.5)
+        assert victim.peek("k") == b"v"
+        assert kv.hint_count(victim.name) == 0
+        assert kv.metrics.counter("hints_flushed").value == 1
+
+    def test_delete_supersedes_queued_hint(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        targets = cluster.replicas_for("k", 2)
+        victim = next(s for s in servers if s.name == targets[0])
+        victim.fail()
+        run_op(loop, lambda cb: kv.set("k", b"v", cb, version=(1, "w")))
+        assert kv.hint_count() == 1
+        run_op(loop, kv.delete, "k")
+        assert kv.hint_count() == 0
+        victim.recover()
+        cluster.mark_live(victim.name)
+        loop.run(until=loop.now() + 0.5)
+        assert victim.peek("k") is None
+
+    def test_hint_queue_is_bounded(self, cluster_world):
+        from repro.kvstore.client import MAX_HINTS_PER_SERVER
+        loop, servers, cluster, kv = cluster_world
+        for i in range(MAX_HINTS_PER_SERVER + 5):
+            kv._add_hint("mc0", f"k{i}", (1, "w"), b"v")
+        assert kv.hint_count("mc0") == MAX_HINTS_PER_SERVER
+        assert kv.metrics.counter("hints_dropped").value == 5
+
+
+class TestFailOpenAndPruning:
+    def test_no_live_servers_fails_via_callback_not_exception(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        for s in servers:
+            cluster.mark_dead(s.name)
+        results = []
+        kv.set("k", b"v", results.append)  # must not raise
+        assert not results  # delivered asynchronously, not inline
+        loop.run(until=loop.now() + 0.1)
+        assert len(results) == 1 and not results[0].ok
+        assert kv.metrics.counter("no_live_servers").value == 1
+
+    def test_stale_straggler_cannot_complete_retried_op(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        done = []
+        kv.set("k", b"v", done.append)
+        req_id, pending = next(iter(kv._pending.items()))
+        old_target = pending.targets[0]
+        # as if the op timed out and the retry re-picked its replica set
+        pending.attempts = 2
+        pending.targets = [s.name for s in servers
+                           if s.name != old_target][:2]
+        pending.attempt_answered = set()
+        kv._on_response({"server": old_target, "req_id": req_id,
+                         "ok": True, "op": "set", "attempt": 1})
+        # the stale ack contributes data but must not complete the op
+        assert not pending.finished and not done
+        for name in pending.targets:
+            kv._on_response({"server": name, "req_id": req_id,
+                             "ok": True, "op": "set", "attempt": 2})
+        assert pending.finished and done and done[0].ok
+
+    def test_remove_prunes_timeouts_hints_and_pending(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        victim = servers[0]
+        kv._consecutive_timeouts[victim.name] = 2
+        kv._add_hint(victim.name, "k", (1, "w"), b"v")
+        cluster.remove(victim.name)
+        assert victim.name not in kv._consecutive_timeouts
+        assert kv.hint_count(victim.name) == 0
+        assert victim.name not in cluster.servers
+        assert victim.name not in cluster.ring
+
+    def test_remove_releases_pending_op_waiting_on_server(self, cluster_world):
+        loop, servers, cluster, kv = cluster_world
+        key = "k"
+        targets = cluster.replicas_for(key, 2)
+        victim = next(s for s in servers if s.name == targets[0])
+        other = next(s for s in servers if s.name == targets[1])
+        victim.fail()
+        done = []
+        kv.set(key, b"v", done.append)
+        loop.run(until=loop.now() + 0.01)  # the live replica answers
+        assert not done  # still waiting on the dead one
+        cluster.remove(victim.name)
+        assert done and done[0].ok
+        assert other.peek(key) == b"v"
+
+
+class TestMembershipEpochs:
+    def test_every_change_bumps_epoch_and_notifies(self, cluster_world):
+        _, servers, cluster, _ = cluster_world
+        events = []
+        cluster.add_listener(lambda ev, name: events.append((ev, name)))
+        e0 = cluster.epoch
+        cluster.mark_dead(servers[0].name)
+        cluster.mark_live(servers[0].name)
+        cluster.remove(servers[1].name)
+        assert cluster.epoch == e0 + 3
+        assert events == [("dead", servers[0].name),
+                          ("live", servers[0].name),
+                          ("removed", servers[1].name)]
+
+    def test_redundant_changes_do_not_bump(self, cluster_world):
+        _, servers, cluster, _ = cluster_world
+        e0 = cluster.epoch
+        cluster.mark_live(servers[0].name)  # already live
+        cluster.mark_dead("nonexistent")
+        assert cluster.epoch == e0
+
+
 class TestQuarantine:
     def test_mark_live_refused_during_quarantine(self, cluster_world):
         _, servers, cluster, _ = cluster_world
