@@ -98,11 +98,15 @@ class ScenarioEngine:
     """Run one scenario against one LB implementation."""
 
     def __init__(self, scenario: Scenario, lb: str = "yoda", seed: int = 2016,
-                 repair: bool = True):
+                 repair: bool = True, taps: Optional[List] = None):
         self.scenario = scenario
         self.lb = lb
         self.seed = seed
         self.repair = repair
+        # extra packet-trace taps (objects with a ``record(rec)`` method)
+        # attached alongside the invariant monitor -- the golden-trace
+        # suite uses this to capture the full packet schedule
+        self.taps: List = list(taps or [])
         self.applied: List[AppliedFault] = []
         self.bed: Optional[Testbed] = None
         self.monitor: Optional[InvariantMonitor] = None
@@ -124,6 +128,8 @@ class ScenarioEngine:
         ))
         self.monitor = InvariantMonitor(self.bed)
         self.bed.network.add_trace(self.monitor)
+        for tap in self.taps:
+            self.bed.network.add_trace(tap)
         if self.bed.yoda is not None:
             # durability is audited even (especially) when repair is off:
             # the verdict is how an ablated run reports its flow-state loss
