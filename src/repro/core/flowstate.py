@@ -59,7 +59,7 @@ def server_key(vip_ip: str, snat_port: int, server: Endpoint) -> str:
     return f"yoda:s:{vip_ip}:{snat_port}:{server}"
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowState:
     """The persisted per-flow record."""
 

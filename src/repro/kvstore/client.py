@@ -166,6 +166,11 @@ class KvOpResult:
 
 
 class _PendingOp:
+    __slots__ = ("op", "key", "value", "version", "targets", "on_done",
+                 "result", "answered_by", "attempt_answered",
+                 "replica_versions", "best_version", "best_value",
+                 "successes", "attempts", "finished", "timer")
+
     def __init__(self, op: str, key: str, value: Optional[bytes],
                  version: Optional[Version], targets: List[str],
                  started_at: float, on_done: Callable[[KvOpResult], None]):
@@ -309,6 +314,9 @@ class ReplicatingKvClient:
             return
         req_id = next(self._req_ids)
         pending = _PendingOp(op, key, value, version, targets, started, on_done)
+        # one timer per op, re-armed on every attempt (Timer.start cancels
+        # any previous arming), instead of a fresh Timer per attempt
+        pending.timer = Timer(self.loop, lambda: self._on_timeout(req_id))
         self._pending[req_id] = pending
         self._send_attempt(req_id, pending)
         self.metrics.counter(f"{op}_issued").inc()
@@ -316,7 +324,6 @@ class ReplicatingKvClient:
     def _send_attempt(self, req_id: int, pending: _PendingOp) -> None:
         pending.attempt_answered = set()
         pending.replica_versions = {}
-        pending.timer = Timer(self.loop, lambda: self._on_timeout(req_id))
         pending.timer.start(self._timeout_for(pending.attempts))
         for name in pending.targets:
             endpoint = self.cluster.endpoint(name)

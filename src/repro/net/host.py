@@ -41,6 +41,13 @@ class Host:
         self.failed = False
         self.metrics = MetricRegistry(name)
         self._handler: Optional[PacketHandler] = None
+        # counter objects cached once; registry lookups are off the
+        # per-packet path
+        self._c_tx_packets = self.metrics.counter("tx_packets")
+        self._c_tx_bytes = self.metrics.counter("tx_bytes")
+        self._c_rx_packets = self.metrics.counter("rx_packets")
+        self._c_rx_bytes = self.metrics.counter("rx_bytes")
+        self._c_rx_dropped = self.metrics.counter("rx_dropped_failed")
 
     @property
     def ip(self) -> str:
@@ -66,17 +73,17 @@ class Host:
             raise NetworkError(f"host {self.name!r} is not attached to a network")
         if self.failed:
             return  # a crashed VM transmits nothing
-        self.metrics.counter("tx_packets").inc()
-        self.metrics.counter("tx_bytes").inc(packet.wire_len)
+        self._c_tx_packets.inc()
+        self._c_tx_bytes.inc(packet.wire_len)
         self.network.transmit(self, packet)
 
     def deliver(self, packet: Packet) -> None:
         """Called by the network when a packet arrives for one of our IPs."""
         if self.failed:
-            self.metrics.counter("rx_dropped_failed").inc()
+            self._c_rx_dropped.inc()
             return
-        self.metrics.counter("rx_packets").inc()
-        self.metrics.counter("rx_bytes").inc(packet.wire_len)
+        self._c_rx_packets.inc()
+        self._c_rx_bytes.inc(packet.wire_len)
         if self._handler is not None:
             self._handler(packet)
         else:

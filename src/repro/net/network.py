@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.errors import NetworkError
 from repro.net.host import Host
 from repro.net.links import FixedLatency, LatencyModel
-from repro.net.packet import Packet, flags_to_str
+from repro.net.packet import PACKET_POOL, Packet, flags_to_str
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
 from repro.sim.random import SeededRng
@@ -29,7 +29,7 @@ from repro.sim.tracing import PacketTrace, TraceRecord
 DEFAULT_INTRA_DC_LATENCY = 0.00025  # 250 us one-way within the datacenter
 
 
-@dataclass
+@dataclass(slots=True)
 class PathFaults:
     """Fault knobs for one directional path (host or site granularity)."""
 
@@ -67,6 +67,16 @@ class Network:
         self._path_faults: Dict[Tuple[str, str], PathFaults] = {}
         self._traces: List[PacketTrace] = []
         self._last_delivery: Dict[Tuple[str, str], float] = {}
+        # hot-path caches.  The latency-model cache maps a host-name pair
+        # to the resolved model; it holds no delivery state (the FIFO
+        # clamp above must survive cache invalidation), so clearing it on
+        # set_latency is always safe.
+        self._model_cache: Dict[Tuple[str, str], LatencyModel] = {}
+        self._c_tx = self.metrics.counter("tx_packets")
+        self._c_no_route = self.metrics.counter("no_route")
+        self._c_lost = self.metrics.counter("lost_packets")
+        self._c_path_lost = self.metrics.counter("path_lost_packets")
+        self._c_duplicated = self.metrics.counter("duplicated_packets")
 
     # -- topology ------------------------------------------------------------
     def attach(self, host: Host) -> Host:
@@ -82,6 +92,7 @@ class Network:
         for ip in host.ips:
             self._routes[ip] = host
         host.network = self
+        self._model_cache.clear()
         return host
 
     def detach(self, host: Host) -> None:
@@ -91,6 +102,7 @@ class Network:
             if self._routes.get(ip) is host:
                 del self._routes[ip]
         host.network = None
+        self._model_cache.clear()
 
     def claim_ip(self, host: Host, ip: str) -> None:
         """Point ``ip`` at ``host``, overriding any previous owner.
@@ -123,6 +135,7 @@ class Network:
     def set_latency(self, src_site: str, dst_site: str, model: LatencyModel) -> None:
         """Set the one-way latency model for packets src_site -> dst_site."""
         self._latency[(src_site, dst_site)] = model
+        self._model_cache.clear()
 
     def set_symmetric_latency(self, site_a: str, site_b: str, model: LatencyModel) -> None:
         self.set_latency(site_a, site_b, model)
@@ -224,24 +237,35 @@ class Network:
     # -- data plane -----------------------------------------------------------
     def transmit(self, src_host: Host, packet: Packet) -> None:
         """Route ``packet`` toward its destination IP."""
-        self.metrics.counter("tx_packets").inc()
+        self._c_tx.inc()
         dst_host = self._routes.get(packet.dst.ip)
         if dst_host is None:
-            self.metrics.counter("no_route").inc()
+            self._c_no_route.inc()
             self._record(packet, point="wire", direction="tx", dropped=True)
+            # a transmit-side drop is the one point where the packet is
+            # provably dead: it was never scheduled for delivery, so no
+            # receive path (or duplicate delivery) can still reference it
+            PACKET_POOL.release(packet)
             return
         if self._loss_rate and self.rng.random() < self._loss_rate:
-            self.metrics.counter("lost_packets").inc()
+            self._c_lost.inc()
             self._record(packet, point="wire", direction="tx", dropped=True)
+            PACKET_POOL.release(packet)
             return
         faults = self._resolve_faults(src_host, dst_host)
         if faults is not None and faults.loss:
             if faults.loss >= 1.0 or self.rng.random() < faults.loss:
-                self.metrics.counter("lost_packets").inc()
-                self.metrics.counter("path_lost_packets").inc()
+                self._c_lost.inc()
+                self._c_path_lost.inc()
                 self._record(packet, point="wire", direction="tx", dropped=True)
+                PACKET_POOL.release(packet)
                 return
-        model = self._latency.get((src_host.site, dst_host.site), self._default_latency)
+        path = (src_host.name, dst_host.name)
+        model = self._model_cache.get(path)
+        if model is None:
+            model = self._latency.get(
+                (src_host.site, dst_host.site), self._default_latency)
+            self._model_cache[path] = model
         delay = model.delay(packet, self.rng)
         if faults is not None and faults.extra_latency:
             delay += faults.extra_latency
@@ -250,14 +274,13 @@ class Network:
         # the same pair of hosts (a single route does not reorder), or TCP
         # would see phantom loss and collapse its window.
         deliver_at = self.loop.now() + delay
-        path = (src_host.name, dst_host.name)
         last = self._last_delivery.get(path, 0.0)
         if deliver_at < last:
             deliver_at = last
         self._last_delivery[path] = deliver_at
         self.loop.call_at(deliver_at, self._deliver, dst_host, packet)
         if faults is not None and faults.duplicate and self.rng.random() < faults.duplicate:
-            self.metrics.counter("duplicated_packets").inc()
+            self._c_duplicated.inc()
             self._record(packet, point="wire", direction="tx", dropped=False)
             self.loop.call_at(deliver_at, self._deliver, dst_host, packet)
 

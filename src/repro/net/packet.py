@@ -9,9 +9,10 @@ carries out-of-band simulation facts that real networks encode elsewhere
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict
 
+from repro.errors import NetworkError
 from repro.net.addresses import Endpoint, FourTuple
 
 # TCP flag bits (same values as the real header, for familiarity).
@@ -42,7 +43,7 @@ def flags_to_str(flags: int) -> str:
     return out or "-"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A TCP segment travelling through the simulated network.
 
@@ -56,6 +57,8 @@ class Packet:
         payload: application bytes carried by this segment.
         meta: simulation side-channel (encapsulation target, original
             5-tuple before SNAT, ...).  Never inspected by endpoints.
+        pool_state: free-list bookkeeping (see :class:`PacketPool`); 0 for
+            packets constructed directly.
     """
 
     src: Endpoint
@@ -66,6 +69,7 @@ class Packet:
     payload: bytes = b""
     meta: Dict[str, Any] = field(default_factory=dict)
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    pool_state: int = field(default=0, repr=False, compare=False)
 
     # -- flag helpers ----------------------------------------------------
     @property
@@ -139,6 +143,93 @@ class Packet:
 
     def __repr__(self) -> str:
         return f"Packet({self.summary()})"
+
+
+# pool_state values
+_POOL_FOREIGN = 0  # constructed directly; the pool never recycles it
+_POOL_LIVE = 1  # issued by a pool, currently in flight
+_POOL_FREE = 2  # sitting on a free list
+
+
+class PacketPool:
+    """A free list for :class:`Packet` objects on the TCP hot path.
+
+    ``acquire`` hands out a recycled instance (with a fresh ``packet_id``
+    and cleared ``meta``) when one is available, else constructs a new one.
+    ``release`` returns a packet to the free list; it is only legal at
+    points where the object is provably dead -- in this simulator, the
+    transmit-side drop paths in ``Network.transmit``, which run before any
+    delivery (or duplicate delivery) could retain a reference.  Releasing
+    a directly-constructed packet is a no-op, so the network can release
+    unconditionally.
+
+    With ``debug=True`` (and at no cost otherwise), misuse raises:
+    releasing the same object twice always raises; mutating a packet after
+    releasing it is detected by a field fingerprint at the next acquire.
+    """
+
+    def __init__(self, debug: bool = False):
+        self._free: list = []
+        self._debug = debug
+        self._fingerprints: Dict[int, tuple] = {}
+        self.created = 0
+        self.recycled = 0
+
+    @staticmethod
+    def _fingerprint(pkt: Packet) -> tuple:
+        return (pkt.src, pkt.dst, pkt.flags, pkt.seq, pkt.ack, pkt.payload,
+                len(pkt.meta), pkt.packet_id)
+
+    def acquire(self, src: Endpoint, dst: Endpoint, flags: int = 0,
+                seq: int = 0, ack: int = 0, payload: bytes = b"") -> Packet:
+        if self._free:
+            pkt = self._free.pop()
+            if self._debug:
+                expected = self._fingerprints.pop(id(pkt), None)
+                if expected is not None and expected != self._fingerprint(pkt):
+                    raise NetworkError(
+                        f"pooled packet mutated after release: {pkt!r}"
+                    )
+            pkt.src = src
+            pkt.dst = dst
+            pkt.flags = flags
+            pkt.seq = seq
+            pkt.ack = ack
+            pkt.payload = payload
+            pkt.meta.clear()
+            pkt.packet_id = next(_packet_ids)
+            self.recycled += 1
+        else:
+            pkt = Packet(src=src, dst=dst, flags=flags, seq=seq, ack=ack,
+                         payload=payload)
+            self.created += 1
+        pkt.pool_state = _POOL_LIVE
+        return pkt
+
+    def release(self, packet: Packet) -> bool:
+        """Return ``packet`` to the free list.
+
+        Returns True if the packet was adopted; False for foreign
+        (directly constructed) packets.  Raises on double release.
+        """
+        state = packet.pool_state
+        if state == _POOL_FREE:
+            raise NetworkError(f"packet released twice: {packet!r}")
+        if state != _POOL_LIVE:
+            return False
+        packet.pool_state = _POOL_FREE
+        if self._debug:
+            self._fingerprints[id(packet)] = self._fingerprint(packet)
+        self._free.append(packet)
+        return True
+
+    def free_count(self) -> int:
+        return len(self._free)
+
+
+# The shared pool the TCP hot path draws from; Network.transmit releases
+# dropped packets back into it.
+PACKET_POOL = PacketPool()
 
 
 def make_syn(src: Endpoint, dst: Endpoint, isn: int) -> Packet:

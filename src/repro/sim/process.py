@@ -19,6 +19,8 @@ class Timer:
     invoked with no arguments when the timer expires.
     """
 
+    __slots__ = ("_loop", "_callback", "_event")
+
     def __init__(self, loop: EventLoop, callback: Callable[[], Any]):
         self._loop = loop
         self._callback = callback
@@ -49,6 +51,8 @@ class PeriodicTask:
     The first call happens ``interval`` seconds after :meth:`start` (or
     immediately when ``fire_now=True``).
     """
+
+    __slots__ = ("_loop", "interval", "_callback", "_event", "_running")
 
     def __init__(self, loop: EventLoop, interval: float, callback: Callable[[], Any]):
         if interval <= 0:

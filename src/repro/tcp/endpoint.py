@@ -23,7 +23,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.errors import TcpError
 from repro.net.addresses import Endpoint, EphemeralPorts
 from repro.net.host import Host
-from repro.net.packet import ACK, FIN, PSH, RST, SYN, Packet
+from repro.net.packet import ACK, FIN, PSH, RST, SYN, PACKET_POOL, Packet
 from repro.sim.events import EventLoop
 from repro.sim.process import Timer
 from repro.sim.random import stable_hash32
@@ -149,13 +149,24 @@ class TcpStack:
             # flow visibly break when it lands on a proxy with no state.
             rst_seq = pkt.ack if pkt.has_ack else 0
             self._transmit(
-                Packet(src=pkt.dst, dst=pkt.src, flags=RST | ACK, seq=rst_seq,
-                       ack=seq_add(pkt.seq, max(pkt.seq_span, 1)))
+                PACKET_POOL.acquire(pkt.dst, pkt.src, flags=RST | ACK,
+                                    seq=rst_seq,
+                                    ack=seq_add(pkt.seq, max(pkt.seq_span, 1)))
             )
 
 
 class TcpConnection:
     """One TCP connection's full state machine."""
+
+    __slots__ = (
+        "stack", "loop", "config", "local", "remote", "handler", "state",
+        "iss", "_snd_una", "_snd_nxt", "_snd_buf", "_snd_buf_seq",
+        "_fin_queued", "_fin_sent_seq", "_cwnd", "_ssthresh", "_dupacks",
+        "_recovery_point", "irs", "_rcv_nxt", "_reasm", "_remote_fin_seen",
+        "_retx_timer", "_time_wait_timer", "_rto", "_retries", "bytes_sent",
+        "bytes_received", "retransmit_count", "opened_at", "established_at",
+        "closed_at",
+    )
 
     def __init__(
         self,
@@ -225,8 +236,8 @@ class TcpConnection:
         """Hard close: send RST, drop all state."""
         if self.state is not TcpState.CLOSED and self.state.synchronized:
             self.stack._transmit(
-                Packet(src=self.local, dst=self.remote, flags=RST | ACK,
-                       seq=self._snd_nxt, ack=self._rcv_nxt)
+                PACKET_POOL.acquire(self.local, self.remote, flags=RST | ACK,
+                                    seq=self._snd_nxt, ack=self._rcv_nxt)
             )
         self._teardown()
         self.handler.on_error(self, reason)
@@ -268,8 +279,9 @@ class TcpConnection:
         if with_ack:
             flags |= ACK
         self.stack._transmit(
-            Packet(src=self.local, dst=self.remote, flags=flags, seq=seq,
-                   ack=self._rcv_nxt if with_ack else 0, payload=payload)
+            PACKET_POOL.acquire(self.local, self.remote, flags=flags, seq=seq,
+                                ack=self._rcv_nxt if with_ack else 0,
+                                payload=payload)
         )
 
     def _send_ack(self) -> None:

@@ -157,3 +157,48 @@ def test_event_fired_flag():
     event = loop.call_later(0.1, lambda: None)
     loop.run()
     assert event.fired and not event.pending
+
+
+# -- lazy deletion must not leak dead entries --------------------------------
+#
+# Regression: the old loop left every cancelled event in the heap until its
+# timestamp surfaced, so N schedule/cancel cycles (the shape of TCP
+# retransmission timers on a healthy network) grew the queue O(N).  The
+# tombstone accounting must keep internal storage proportional to *live*
+# events, with only a bounded compaction slack.
+
+_CHURN = 20_000
+# compaction triggers once tombstones exceed 64 AND outnumber live entries;
+# with ~10 live anchors the depth ceiling is small and N-independent
+_SLACK = 200
+
+
+def test_queue_depth_stays_o_live_under_wheel_churn():
+    loop = EventLoop()
+    for i in range(10):  # long-lived timers, like health-check periods
+        loop.call_later(500.0 + i, lambda: None)
+    for _ in range(_CHURN):
+        loop.call_later(1.0, lambda: None).cancel()  # wheeled, then dead
+    assert loop.pending_count() == 10
+    assert loop.queue_depth() <= 10 + _SLACK
+
+
+def test_queue_depth_stays_o_live_under_heap_churn():
+    loop = EventLoop()
+    for i in range(10):
+        loop.call_later(500.0 + i, lambda: None)
+    for _ in range(_CHURN):
+        loop.call_later(0.01, lambda: None).cancel()  # below the wheel cutoff
+    assert loop.pending_count() == 10
+    assert loop.queue_depth() <= 10 + _SLACK
+
+
+def test_queue_drains_completely():
+    loop = EventLoop()
+    for i in range(100):
+        ev = loop.call_later(0.01 * i, lambda: None)
+        if i % 3 == 0:
+            ev.cancel()
+    loop.run()
+    assert loop.pending_count() == 0
+    assert loop.queue_depth() == 0
