@@ -24,6 +24,7 @@ from repro.http.message import HttpRequest
 from repro.http.parser import HttpParser
 from repro.l4lb.service import L4LoadBalancer
 from repro.net.host import Host
+from repro.obs import OBS
 from repro.sim.cpu import CpuModel
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
@@ -62,7 +63,7 @@ class HAProxyInstance:
         self.rng = rng.fork(f"haproxy/{host.name}")
         self.cost = cost_model or HAProxyCostModel()
         self.scan_cost_model = scan_cost_model or ScanCostModel()
-        self.cpu = CpuModel(loop)
+        self.cpu = CpuModel(loop, owner=host.name)
         self.metrics = MetricRegistry(host.name)
         self.backend_view: BackendView = AllHealthy()
         self.stack = TcpStack(host, loop, tcp_config or TcpConfig())
@@ -116,6 +117,9 @@ class _FrontendHandler(ConnectionHandler):
         self.front_closed = False
         self._inflight = {"front": 0, "back": 0}  # spliced chunks not yet delivered
         self._close_when_drained = {"front": False, "back": False}
+        # trace context adopted from the client's SYN, when tracing is on
+        self._obs_ctx = conn.obs_ctx if OBS.enabled else None
+        self._span_connect = None
 
     # -- client side ----------------------------------------------------------
     def on_data(self, conn: TcpConnection, data: bytes) -> None:
@@ -152,10 +156,15 @@ class _FrontendHandler(ConnectionHandler):
         if result is None:
             self.front.abort("no-backend")
             return
-        self.proxy.cpu.execute(self.proxy.cost.request_cpu)
+        self.proxy.cpu.execute(self.proxy.cost.request_cpu, phase="request")
         self.proxy.requests_handled += 1
         self.proxy.metrics.counter("requests").inc()
         self.proxy.metrics.histogram("scan_latency").observe(result.scan_latency)
+        if OBS.enabled:
+            span = OBS.tracer.start("rule_scan", self.proxy.name,
+                                    ctx=self._obs_ctx)
+            OBS.tracer.end(span, end=span.start + result.scan_latency,
+                           ok=True, backend=result.backend)
         backend_ep = policy.endpoint_of(result.backend)
         # rule-scan latency elapses before the backend connection opens
         self.proxy.loop.call_later(result.scan_latency, self._connect_backend,
@@ -165,13 +174,22 @@ class _FrontendHandler(ConnectionHandler):
         if self.front.state.closed:
             return
         self._connect_started = self.proxy.loop.now()
-        self.back = self.proxy.stack.connect(backend_ep, _BackendHandler(self))
+        if OBS.enabled:
+            self._span_connect = OBS.tracer.start(
+                "server_connect", self.proxy.name, ctx=self._obs_ctx,
+                start=self._connect_started)
+        self.back = self.proxy.stack.connect(backend_ep, _BackendHandler(self),
+                                             obs_ctx=self._obs_ctx)
 
     def backend_connected(self) -> None:
         self.back_established = True
+        now = self.proxy.loop.now()
         self.proxy.metrics.histogram("server_connect_latency").observe(
-            self.proxy.loop.now() - self._connect_started
+            now - self._connect_started
         )
+        if OBS.enabled and self._span_connect is not None:
+            OBS.tracer.end(self._span_connect, end=now, ok=True)
+            self._span_connect = None
         if self.pending_front_bytes:
             self._splice(self.back, "back", bytes(self.pending_front_bytes))
             self.pending_front_bytes.clear()
@@ -187,7 +205,7 @@ class _FrontendHandler(ConnectionHandler):
 
     def _splice(self, conn: TcpConnection, side: str, data: bytes) -> None:
         cost = self.proxy.cost.byte_cpu * len(data)
-        self.proxy.cpu.execute(cost)
+        self.proxy.cpu.execute(cost, phase="splice")
         self._inflight[side] += 1
         self.proxy.loop.call_later(
             self.proxy.cost.splice_latency, self._deliver, conn, side, data

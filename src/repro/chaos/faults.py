@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -158,6 +159,8 @@ def apply_fault(bed, spec: FaultSpec) -> AppliedFault:
     (None when self-terminating or vacuous in this deployment) and the
     resolved target so callers know *which* host a selector picked."""
     net = bed.network
+    if OBS.enabled:
+        OBS.flight("chaos", "fault", spec.describe())
     if spec.kind == "partition":
         a = resolve_path_endpoint(bed, spec.src)
         b = resolve_path_endpoint(bed, spec.dst)

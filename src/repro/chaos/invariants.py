@@ -36,11 +36,23 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from repro.core.flowstate import client_key
 from repro.kvstore.memcached import version_newer
+from repro.obs import OBS
 from repro.sim.process import PeriodicTask
 from repro.sim.tracing import TraceRecord
 from repro.tcp.segment import seq_diff
 
 MAX_VIOLATIONS_KEPT = 50  # per invariant; beyond this only the count grows
+FORENSICS_TAIL = 20  # flight-recorder events embedded per violation
+
+
+def _forensics_tail() -> List[str]:
+    """Dump the flight recorders' merged tail at the moment of violation.
+
+    Empty when the observability plane is off -- forensics are a debugging
+    aid, never a behavioural dependency."""
+    if not OBS.enabled:
+        return []
+    return OBS.recorders.dump_tail(last=FORENSICS_TAIL)
 
 
 @dataclass
@@ -51,9 +63,13 @@ class Violation:
     time: float
     flow: str
     detail: str
+    forensics: List[str] = field(default_factory=list)
 
     def __str__(self) -> str:
-        return f"[{self.time:.3f}s] {self.invariant} {self.flow}: {self.detail}"
+        base = f"[{self.time:.3f}s] {self.invariant} {self.flow}: {self.detail}"
+        if self.forensics:
+            base += "\n  flight recorder tail:\n    " + "\n    ".join(self.forensics)
+        return base
 
 
 @dataclass
@@ -228,7 +244,8 @@ class InvariantMonitor:
         self.violation_counts[invariant] = self.violation_counts.get(invariant, 0) + 1
         bucket = self.violations.setdefault(invariant, [])
         if len(bucket) < MAX_VIOLATIONS_KEPT:
-            bucket.append(Violation(invariant, time, flow, detail))
+            bucket.append(Violation(invariant, time, flow, detail,
+                                    forensics=_forensics_tail()))
 
     # ------------------------------------------------------------- finalize --
     def finalize(self, strict_before: Optional[float] = None,
@@ -372,6 +389,7 @@ class ReplicationFactorMonitor:
                             f"{holders}/{need} live replicas for "
                             f"{now - first:.2f}s (window {self.window}s, "
                             f"epoch {yoda.kv_cluster.epoch})",
+                            forensics=_forensics_tail(),
                         ))
         # flows that vanished while in deficit stop being tracked
         for key in [k for k in self._deficit_since if k not in sampled]:

@@ -118,10 +118,23 @@ def main(argv=None) -> int:
                         help="disable store self-healing (read-repair, "
                              "hinted handoff, anti-entropy) -- the "
                              "durability ablation")
+    obsp = sub.add_parser(
+        "obs", help="run a short traced workload (with a mid-run LB crash) "
+                    "and emit the observability report")
+    obsp.add_argument("--seed", type=int, default=2016)
+    obsp.add_argument("--rate", type=float, default=80.0,
+                      help="open-loop request rate (req/s)")
+    obsp.add_argument("--duration", type=float, default=4.0)
+    obsp.add_argument("--format", choices=["text", "prom", "json"],
+                      default="text")
+    obsp.add_argument("--out", default=None,
+                      help="write the report to a file instead of stdout")
     args = parser.parse_args(argv)
 
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "obs":
+        return _run_obs(args)
 
     if args.command == "list":
         width = max(len(n) for n in EXPERIMENTS)
@@ -137,6 +150,50 @@ def main(argv=None) -> int:
         elapsed = time.perf_counter() - started
         print(result.render())
         print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _run_obs(args) -> int:
+    # Imported lazily so `python -m repro list` stays instant.
+    from repro.experiments.harness import Testbed, TestbedConfig
+    from repro.obs import OBS
+    from repro.obs.export import render_json, render_prometheus
+    from repro.obs.report import render_report
+    from repro.obs.scrape import MetricScraper
+
+    OBS.enable()
+    bed = Testbed(TestbedConfig(
+        seed=args.seed, lb="yoda", num_lb_instances=3, num_store_servers=2,
+        num_backends=3, corpus="flat", flat_object_bytes=10_000,
+    ))
+    scraper = MetricScraper(bed.loop).start()
+    gen = bed.open_loop(args.rate)
+    # a mid-run instance crash gives the flight recorders and the chaos
+    # forensics something real to show
+    bed.loop.call_later(args.duration * 0.25, lambda: bed.fail_lb_instances(1))
+    bed.run(args.duration)
+    gen.stop()
+    bed.run(1.0)  # drain
+    scraper.stop()
+
+    if args.format == "prom":
+        text = render_prometheus()
+    elif args.format == "json":
+        text = render_json()
+    else:
+        text = render_report()
+        text += (
+            f"\n\n== scraped time series {'=' * 38}\n"
+            f"{len(scraper.names())} series over {scraper.scrapes} scrapes "
+            f"(e.g. {', '.join(scraper.names()[:3])})\n"
+        )
+    OBS.disable()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"[obs report written to {args.out}]")
+    else:
+        print(text)
     return 0
 
 

@@ -25,6 +25,7 @@ from repro.errors import ControllerError
 from repro.http.server import BackendHttpServer
 from repro.kvstore.client import MemcachedCluster
 from repro.l4lb.service import L4LoadBalancer
+from repro.obs import OBS
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
 from repro.sim.process import PeriodicTask
@@ -306,11 +307,17 @@ class YodaController:
             if not alive and self._instance_alive.get(name, True):
                 self._instance_alive[name] = False
                 self.metrics.counter("instance_failures_detected").inc()
+                if OBS.enabled:
+                    OBS.flight("controller", "instance_down",
+                               f"{name} removed from mappings")
                 for vip, assigned in self.assignments.items():
                     if name in assigned:
                         self._push_mapping(vip)
             elif alive and not self._instance_alive.get(name, True):
                 self._instance_alive[name] = True
+                if OBS.enabled:
+                    OBS.flight("controller", "instance_up",
+                               f"{name} readmitted to mappings")
                 for vip, assigned in self.assignments.items():
                     if name in assigned:
                         self._push_mapping(vip)
@@ -330,8 +337,14 @@ class YodaController:
                 if not ok and name in self.kv_cluster.ring:
                     self.kv_cluster.mark_dead(name)
                     self.metrics.counter("kv_failures_detected").inc()
+                    if OBS.enabled:
+                        OBS.flight("controller", "kv_down",
+                                   f"{name} dropped from replication ring")
                 elif ok and name not in self.kv_cluster.ring:
                     self.kv_cluster.mark_live(name, now=self.loop.now())
+                    if OBS.enabled:
+                        OBS.flight("controller", "kv_up",
+                                   f"{name} back in replication ring")
         # traffic statistics from the instances
         for name, instance in self.instances.items():
             if self._instance_alive[name]:

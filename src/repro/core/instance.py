@@ -35,6 +35,7 @@ from repro.http.parser import HttpParser
 from repro.net.addresses import Endpoint
 from repro.net.host import Host
 from repro.net.packet import ACK, FIN, RST, SYN, Packet
+from repro.obs import OBS
 from repro.sim.cpu import CpuModel
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
@@ -91,7 +92,7 @@ class _LocalFlow:
         "t_established", "policy_version", "forwarded_req_bytes",
         "parsed_bytes", "requests_seen", "resp_high",
         "tls", "tls_codec", "tls_records", "tls_hello_done",
-        "resp_out", "resp_acked", "cert_timer",
+        "resp_out", "resp_acked", "cert_timer", "obs_ctx", "obs_spans",
     )
 
     def __init__(self, state: FlowState, now: float):
@@ -131,6 +132,10 @@ class _LocalFlow:
         self.resp_out = b""  # instance-originated bytes (the cert flight)
         self.resp_acked = 0
         self.cert_timer: Optional[Timer] = None
+        # observability: the client's trace context and this flow's open
+        # spans, keyed by stage name (None while the plane is disabled)
+        self.obs_ctx = None
+        self.obs_spans: Optional[Dict[str, object]] = None
 
     def key(self) -> str:
         return f"{self.state.client}|{self.state.vip}"
@@ -206,7 +211,7 @@ class YodaInstance:
         self.cost = cost_model or YodaCostModel()
         self.scan_cost_model = scan_cost_model or ScanCostModel()
         self.l4lb = l4lb
-        self.cpu = CpuModel(loop)
+        self.cpu = CpuModel(loop, owner=host.name)
         self.metrics = MetricRegistry(host.name)
         self.backend_view: BackendView = AllHealthy()
 
@@ -321,7 +326,8 @@ class YodaInstance:
         if pkt.meta.get("kv") is not None:
             return  # not a store server; ignore stray
         self.metrics.counter("packets_in").inc()
-        self.cpu.execute(self.cost.packet_cost(pkt), self._after_cpu, pkt)
+        self.cpu.execute(self.cost.packet_cost(pkt), self._after_cpu, pkt,
+                         phase="packet")
 
     def _after_cpu(self, pkt: Packet) -> None:
         if self.host.failed:
@@ -343,6 +349,33 @@ class YodaInstance:
     def _send(self, pkt: Packet) -> None:
         self.metrics.counter("packets_out").inc()
         self.host.send(pkt)
+
+    # ---------------------------------------------------------- observability --
+    # Purely passive span bookkeeping: stage spans start/end at exactly the
+    # timestamps the legacy stage histograms observe, so Fig. 9 derived
+    # from spans matches the histogram-based computation bit-for-bit.
+    def _obs_flow_open(self, flow: _LocalFlow, ctx, recovered: bool = False) -> None:
+        flow.obs_ctx = ctx
+        span = OBS.tracer.start("yoda.flow", self.name, ctx=ctx,
+                                attrs={"recovered": recovered} if recovered
+                                else None)
+        flow.obs_spans = {"flow": span}
+
+    def _obs_start(self, flow: _LocalFlow, name: str):
+        if flow.obs_spans is None:
+            return None
+        root = flow.obs_spans.get("flow")
+        ctx = OBS.tracer.ctx_of(root) if root is not None else flow.obs_ctx
+        span = OBS.tracer.start(name, self.name, ctx=ctx)
+        flow.obs_spans[name] = span
+        return span
+
+    def _obs_end(self, flow: _LocalFlow, name: str, end=None, **attrs) -> None:
+        if flow.obs_spans is None:
+            return
+        span = flow.obs_spans.pop(name, None)
+        if span is not None:
+            OBS.tracer.end(span, end=end, **attrs)
 
     # =========================================================== client side ==
     def _handle_client_packet(self, pkt: Packet, policy: VipPolicy) -> None:
@@ -379,10 +412,14 @@ class YodaInstance:
         self.flows[key] = flow
         self.metrics.counter("flows_opened").inc()
         t0 = self.loop.now()
+        if OBS.enabled:
+            self._obs_flow_open(flow, pkt.meta.get("obs_ctx"))
+            OBS.ctx = OBS.tracer.ctx_of(self._obs_start(flow, "storage_a"))
         # storage-a MUST complete before the SYN-ACK leaves (Figure 3)
         self.tcpstore.store_client_syn(
             state, lambda ok: self._storage_a_done(key, ok, t0)
         )
+        OBS.ctx = None
 
     def _storage_a_done(self, key: str, ok: bool, t0: float) -> None:
         flow = self.flows.get(key)
@@ -392,9 +429,15 @@ class YodaInstance:
             # cannot guarantee recoverability -> do not ACK; the client
             # will retransmit its SYN and we will try again.
             self.metrics.counter("storage_a_failed").inc()
+            if OBS.enabled:
+                self._obs_end(flow, "storage_a", ok=False)
+                self._obs_end(flow, "flow", ok=False)
+                OBS.flight(self.name, "storage_a_failed", key)
             del self.flows[key]
             return
         self.metrics.histogram("storage_a_latency").observe(self.loop.now() - t0)
+        if OBS.enabled:
+            self._obs_end(flow, "storage_a", ok=True)
         flow.syn_stored = True
         flow.t_synack = self.loop.now()
         self._send_syn_ack(flow)
@@ -471,10 +514,17 @@ class YodaInstance:
                 # hello, so the hello bytes must be recoverable first
                 state.client_prefix = bytes(flow.req_assembled)
                 t0 = self.loop.now()
+                if OBS.enabled:
+                    # second storage-a write of a TLS flow (the hello
+                    # prefix); the slot was freed when the SYN write ended
+                    span = self._obs_start(flow, "storage_a")
+                    if span is not None:
+                        OBS.ctx = OBS.tracer.ctx_of(span)
                 self.tcpstore.store_client_syn(
                     state,
                     lambda ok: self._tls_prefix_stored(flow.key(), ok, t0),
                 )
+                OBS.ctx = None
             elif rtype == tls.RETRY_PING:
                 # a stalled client nudging after a failover: resend from
                 # the first unacked byte (client TCP discards duplicates)
@@ -498,8 +548,12 @@ class YodaInstance:
             return
         if not ok:
             self.metrics.counter("storage_a_failed").inc()
+            if OBS.enabled:
+                self._obs_end(flow, "storage_a", ok=False)
             return  # client will retransmit the hello; we try again
         self.metrics.histogram("storage_a_latency").observe(self.loop.now() - t0)
+        if OBS.enabled:
+            self._obs_end(flow, "storage_a", ok=True)
         policy = self.policies.get(flow.state.vip.ip)
         if policy is None or policy.certificate is None:
             return
@@ -561,7 +615,7 @@ class YodaInstance:
         flow.policy_version = version
         result = table.select(request, self.rng, self.backend_view)
         scan_cpu = self.cost.scan_cpu_base + self.cost.scan_cpu_per_rule * len(table)
-        self.cpu.execute(scan_cpu)
+        self.cpu.execute(scan_cpu, phase="rule_scan")
         if result is None:
             self.metrics.counter("no_backend").inc()
             self._send(Packet(src=flow.state.vip, dst=flow.state.client,
@@ -571,6 +625,14 @@ class YodaInstance:
             return
         self.metrics.histogram("scan_latency").observe(result.scan_latency)
         self.metrics.counter("selections").inc()
+        if OBS.enabled:
+            span = self._obs_start(flow, "rule_scan")
+            if span is not None:
+                # the scan's latency elapses via call_later below; the span
+                # covers exactly that window
+                self._obs_end(flow, "rule_scan",
+                              end=span.start + result.scan_latency,
+                              backend=result.backend)
         # the scan itself takes time (Figure 6) before the server SYN goes out
         self.loop.call_later(
             result.scan_latency, self._connect_server, flow.key(),
@@ -617,6 +679,8 @@ class YodaInstance:
         state.phase = FlowPhase.SERVER_SYN_SENT.value
         self.by_server[(str(server_ep), snat_port)] = key
         flow.t_server_syn = self.loop.now()
+        if OBS.enabled:
+            self._obs_start(flow, "server_connect")
         self._send_server_syn(flow)
         flow.syn_timer = Timer(self.loop, lambda: self._server_syn_rto(key))
         flow.syn_timer.start(SERVER_SYN_RTO)
@@ -626,10 +690,14 @@ class YodaInstance:
         # Reuse the client's ISN (offset by any earlier requests) so the
         # client's data bytes flow to the server without seq rewriting.
         isn = seq_add(state.client_isn, state.request_offset)
-        self._send(Packet(
+        pkt = Packet(
             src=Endpoint(state.vip.ip, state.snat_port), dst=state.server,
             flags=SYN, seq=isn,
-        ))
+        )
+        if OBS.enabled and flow.obs_ctx is not None:
+            # the backend's passive open adopts the client's trace context
+            pkt.meta["obs_ctx"] = flow.obs_ctx
+        self._send(pkt)
 
     def _server_syn_rto(self, key: str) -> None:
         flow = self.flows.get(key)
@@ -724,10 +792,15 @@ class YodaInstance:
         flow.storage_b_inflight = True
         t0 = self.loop.now()
         state.phase = FlowPhase.TUNNEL.value
+        if OBS.enabled:
+            span = self._obs_start(flow, "storage_b")
+            if span is not None:
+                OBS.ctx = OBS.tracer.ctx_of(span)
         # storage-b MUST complete before the ACK to the server (Figure 3)
         self.tcpstore.store_server_conn(
             state, lambda ok: self._storage_b_done(flow.key(), ok, t0)
         )
+        OBS.ctx = None
 
     def _storage_b_done(self, key: str, ok: bool, t0: float) -> None:
         flow = self.flows.get(key)
@@ -739,6 +812,9 @@ class YodaInstance:
             # we will retry persisting.
             flow.state.phase = FlowPhase.SERVER_SYN_SENT.value
             self.metrics.counter("storage_b_failed").inc()
+            if OBS.enabled:
+                self._obs_end(flow, "storage_b", ok=False)
+                OBS.flight(self.name, "storage_b_failed", key)
             return
         if flow.syn_timer is not None:
             flow.syn_timer.cancel()
@@ -747,6 +823,9 @@ class YodaInstance:
         self.metrics.histogram("server_connect_latency").observe(
             now - flow.t_server_syn
         )
+        if OBS.enabled:
+            self._obs_end(flow, "storage_b", end=now, ok=True)
+            self._obs_end(flow, "server_connect", end=now, ok=True)
         flow.phase = FlowPhase.TUNNEL
         flow.t_established = now
         self._send_server_handshake_ack(flow)
@@ -822,6 +901,10 @@ class YodaInstance:
         flow.policy_version = version
         self.by_server[(str(new_ep), state.snat_port)] = flow.key()
         flow.t_server_syn = self.loop.now()
+        if OBS.enabled:
+            OBS.flight(self.name, "backend_switch",
+                       f"{flow.key()} -> {result.backend}")
+            self._obs_start(flow, "server_connect")
         self._send_server_syn(flow)
         if flow.syn_timer is None:
             key = flow.key()
@@ -946,6 +1029,10 @@ class YodaInstance:
         flow.syn_stored = True
         flow.recovered = True
         flow.requests_seen = None  # HTTP/1.1 switching needs parser context
+        if OBS.enabled:
+            self._obs_flow_open(flow, None, recovered=True)
+            OBS.flight(self.name, "flow_recovered",
+                       f"{key} phase={state.phase}")
         policy = self.policies.get(state.vip.ip)
         if policy is not None and policy.certificate is not None:
             flow.enable_tls()
@@ -991,10 +1078,16 @@ class YodaInstance:
             return
         self.completed_flows += 1
         self.metrics.counter("flows_completed").inc()
+        if OBS.enabled:
+            self._obs_end(flow, "flow", completed=True)
         self._destroy_flow(flow, remove_stored=True)
 
     def _destroy_flow(self, flow: _LocalFlow, remove_stored: bool) -> None:
         state = flow.state
+        if OBS.enabled and flow.obs_spans is not None:
+            for name in ("storage_a", "storage_b", "server_connect", "rule_scan"):
+                self._obs_end(flow, name, ok=False)
+            self._obs_end(flow, "flow", completed=False)
         self.flows.pop(flow.key(), None)
         if flow.syn_timer is not None:
             flow.syn_timer.cancel()

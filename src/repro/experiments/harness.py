@@ -28,6 +28,7 @@ from repro.net.addresses import Endpoint
 from repro.net.host import Host
 from repro.net.links import FixedLatency, JitterLatency
 from repro.net.network import Network
+from repro.obs import OBS
 from repro.sim.events import EventLoop
 from repro.sim.random import SeededRng
 from repro.sim.tracing import PacketTrace
@@ -98,6 +99,8 @@ class Testbed:
         self.config = config or TestbedConfig()
         cfg = self.config
         self.loop = EventLoop()
+        if OBS.enabled:
+            OBS.attach_clock(self.loop.now)
         self.rng = SeededRng(cfg.seed)
         self.network = Network(self.loop, self.rng)
         self.network.set_symmetric_latency(

@@ -17,6 +17,7 @@ from repro.http import tls
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.parser import HttpParser
 from repro.net.addresses import Endpoint
+from repro.obs import OBS
 from repro.sim.events import EventLoop
 from repro.sim.process import Timer
 from repro.tcp.endpoint import ConnectionHandler, TcpConnection, TcpStack
@@ -75,11 +76,23 @@ class HttpFetcher(ConnectionHandler):
         self._timer = Timer(loop, self._on_http_timeout)
         self._conn: Optional[TcpConnection] = None
         self._finished = False
+        self._span = None  # root trace span (observability plane)
+        self._obs_ctx = None
 
     def start(self) -> "HttpFetcher":
         self._parser = HttpParser("response")
         self._timer.start(self.stall_timeout or self.http_timeout)
-        self._conn = self.stack.connect(self.target, self)
+        if OBS.enabled:
+            if self._span is None:
+                # root of the request's trace; retries continue the same
+                # span, mirroring FetchResult's started_at/finished_at
+                self._span = OBS.tracer.start(
+                    "http.request", self.stack.host.name,
+                    start=self.result.started_at,
+                    attrs={"path": self.request.path},
+                )
+            self._obs_ctx = OBS.tracer.ctx_of(self._span)
+        self._conn = self.stack.connect(self.target, self, obs_ctx=self._obs_ctx)
         return self
 
     # -- TCP callbacks -----------------------------------------------------
@@ -132,6 +145,10 @@ class HttpFetcher(ConnectionHandler):
         self._finished = True
         self.result.error = error
         self.result.finished_at = self.loop.now()
+        if OBS.enabled and self._span is not None:
+            OBS.tracer.end(self._span, end=self.result.finished_at,
+                           ok=False, error=error,
+                           retries=self.result.retries_used)
         self.on_done(self.result)
 
     def _complete(self, response: HttpResponse) -> None:
@@ -147,6 +164,10 @@ class HttpFetcher(ConnectionHandler):
         self.result.finished_at = self.loop.now()
         if not response.ok:
             self.result.error = f"http-{response.status}"
+        if OBS.enabled and self._span is not None:
+            OBS.tracer.end(self._span, end=self.result.finished_at,
+                           ok=response.ok, status=response.status,
+                           retries=self.result.retries_used)
         self.on_done(self.result)
 
 

@@ -15,6 +15,7 @@ from repro.http.message import HttpRequest, HttpResponse
 from repro.http.parser import HttpParser
 from repro.http import tls
 from repro.net.host import Host
+from repro.obs import OBS
 from repro.sim.events import EventLoop
 from repro.tcp.endpoint import ConnectionHandler, TcpConnection, TcpStack
 
@@ -143,6 +144,7 @@ class _ServerConnection(ConnectionHandler):
         self._next_id = 0  # id assigned to the next arriving request
         self._next_to_send = 0  # pipelining: responses go out in arrival order
         self._closing = False
+        self._obs_spans: Dict[int, object] = {}
 
     def on_data(self, conn: TcpConnection, data: bytes) -> None:
         try:
@@ -157,6 +159,10 @@ class _ServerConnection(ConnectionHandler):
         req_id = self._next_id
         self._next_id += 1
         self.server.active_requests += 1
+        if OBS.enabled:
+            self._obs_spans[req_id] = OBS.tracer.start(
+                "backend.serve", self.server.name, ctx=conn.obs_ctx,
+                attrs={"path": request.path})
         response = self.server.handle_request(request)
         keep_alive = _wants_keep_alive(request)
         if not keep_alive:
@@ -173,10 +179,16 @@ class _ServerConnection(ConnectionHandler):
         self.server.active_requests -= 1
         self.server.requests_served += 1
         self.server.bytes_served += len(response.body)
+        self._obs_finish(req_id, response)
         self._ready[req_id] = response.serialize()
         if not keep_alive:
             self._closing = True
         self._flush(conn)
+
+    def _obs_finish(self, req_id: int, response: HttpResponse) -> None:
+        span = self._obs_spans.pop(req_id, None)
+        if OBS.enabled and span is not None:
+            OBS.tracer.end(span, ok=response.ok, status=response.status)
 
     @property
     def _pending(self) -> bool:
@@ -246,6 +258,7 @@ class _TlsServerConnection(_ServerConnection):
         self.server.active_requests -= 1
         self.server.requests_served += 1
         self.server.bytes_served += len(response.body)
+        self._obs_finish(req_id, response)
         self._ready[req_id] = tls.app_data(response.serialize())
         if not keep_alive:
             self._closing = True

@@ -41,6 +41,7 @@ from repro.kvstore.memcached import (
 from repro.net.addresses import Endpoint
 from repro.net.host import Host
 from repro.net.packet import Packet
+from repro.obs import OBS
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
 from repro.sim.process import Timer
@@ -169,7 +170,7 @@ class _PendingOp:
     __slots__ = ("op", "key", "value", "version", "targets", "on_done",
                  "result", "answered_by", "attempt_answered",
                  "replica_versions", "best_version", "best_value",
-                 "successes", "attempts", "finished", "timer")
+                 "successes", "attempts", "finished", "timer", "obs_span")
 
     def __init__(self, op: str, key: str, value: Optional[bytes],
                  version: Optional[Version], targets: List[str],
@@ -193,6 +194,7 @@ class _PendingOp:
         self.attempts = 1
         self.finished = False
         self.timer: Optional[Timer] = None
+        self.obs_span = None  # observability span, when tracing is enabled
 
 
 class ReplicatingKvClient:
@@ -314,6 +316,14 @@ class ReplicatingKvClient:
             return
         req_id = next(self._req_ids)
         pending = _PendingOp(op, key, value, version, targets, started, on_done)
+        if OBS.enabled:
+            # OBS.ctx is the ambient parent (the instance sets it around
+            # synchronous TCPStore writes); span timestamps mirror
+            # KvOpResult's started_at/finished_at exactly
+            pending.obs_span = OBS.tracer.start(
+                f"kv.{op}", f"{self.host.name}.kv", ctx=OBS.ctx,
+                start=started, attrs={"key": key},
+            )
         # one timer per op, re-armed on every attempt (Timer.start cancels
         # any previous arming), instead of a fresh Timer per attempt
         pending.timer = Timer(self.loop, lambda: self._on_timeout(req_id))
@@ -327,18 +337,19 @@ class ReplicatingKvClient:
         pending.timer.start(self._timeout_for(pending.attempts))
         for name in pending.targets:
             endpoint = self.cluster.endpoint(name)
-            self.host.send(
-                Packet(
-                    src=Endpoint(self.host.ip, KV_CLIENT_PORT),
-                    dst=endpoint,
-                    payload=pending.value or b"",
-                    meta={"kv": {"op": pending.op, "key": pending.key,
-                                 "value": pending.value,
-                                 "version": pending.version,
-                                 "req_id": req_id,
-                                 "attempt": pending.attempts}},
-                )
+            pkt = Packet(
+                src=Endpoint(self.host.ip, KV_CLIENT_PORT),
+                dst=endpoint,
+                payload=pending.value or b"",
+                meta={"kv": {"op": pending.op, "key": pending.key,
+                             "value": pending.value,
+                             "version": pending.version,
+                             "req_id": req_id,
+                             "attempt": pending.attempts}},
             )
+            if pending.obs_span is not None:
+                pkt.meta["obs_ctx"] = OBS.tracer.ctx_of(pending.obs_span)
+            self.host.send(pkt)
 
     def _timeout_for(self, attempt: int) -> float:
         """Exponential backoff with optional jitter; attempt is 1-based."""
@@ -391,6 +402,10 @@ class ReplicatingKvClient:
         if pending is None or pending.finished:
             return
         self.metrics.counter("timeouts").inc()
+        if OBS.enabled:
+            OBS.flight(f"{self.host.name}.kv", "timeout",
+                       f"{pending.op} {pending.key} attempt={pending.attempts} "
+                       f"answered={sorted(pending.attempt_answered)}")
         for name in pending.targets:
             if name not in pending.attempt_answered:
                 self._penalize(name)
@@ -421,6 +436,9 @@ class ReplicatingKvClient:
                 self.cluster.mark_dead(
                     name, until=self.loop.now() + self.quarantine)
                 self.metrics.counter("servers_marked_dead").inc()
+                if OBS.enabled:
+                    OBS.flight(f"{self.host.name}.kv", "mark_dead",
+                               f"{name} after {streak} consecutive timeouts")
             self._consecutive_timeouts[name] = 0
 
     def _complete(self, req_id: int, ok: bool) -> None:
@@ -445,6 +463,10 @@ class ReplicatingKvClient:
                                        pending.value)
         self.metrics.histogram(f"{pending.op}_latency").observe(pending.result.latency)
         self.metrics.counter(f"{pending.op}_{'ok' if pending.result.ok else 'fail'}").inc()
+        if OBS.enabled and pending.obs_span is not None:
+            OBS.tracer.end(pending.obs_span, end=pending.result.finished_at,
+                           ok=pending.result.ok,
+                           replicas=pending.result.replicas_answered)
         pending.on_done(pending.result)
 
     # -- self-healing: read-repair + hinted handoff ---------------------------

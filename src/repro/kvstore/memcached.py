@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.net.addresses import Endpoint
 from repro.net.host import Host
 from repro.net.packet import Packet
+from repro.obs import OBS
 from repro.sim.cpu import CpuModel
 from repro.sim.events import EventLoop
 
@@ -62,7 +63,7 @@ class MemcachedServer:
         self.port = port
         self.op_cpu_cost = op_cpu_cost
         self.max_items = max_items
-        self.cpu = CpuModel(loop)
+        self.cpu = CpuModel(loop, owner=host.name)
         # key -> (version, value); version None for unversioned writes
         self._store: "OrderedDict[str, Tuple[Optional[Version], bytes]]" = OrderedDict()
         self.ops: Dict[str, int] = {"set": 0, "get": 0, "delete": 0}
@@ -99,7 +100,8 @@ class MemcachedServer:
         req = pkt.meta.get("kv")
         if req is None or pkt.dst.port != self.port:
             return
-        self.cpu.execute(self.op_cpu_cost, self._serve, pkt, req)
+        self.cpu.execute(self.op_cpu_cost, self._serve, pkt, req,
+                         phase="kv_op")
 
     def _serve(self, pkt: Packet, req: Dict[str, Any]) -> None:
         if self.host.failed:
@@ -117,6 +119,11 @@ class MemcachedServer:
         else:
             ok = False
         self.ops[op] = self.ops.get(op, 0) + 1
+        if OBS.enabled:
+            ctx = pkt.meta.get("obs_ctx")
+            if ctx is not None:
+                OBS.tracer.event(f"kv.serve.{op}", self.name, ctx=ctx,
+                                 attrs={"key": key, "ok": ok})
         reply = Packet(
             src=Endpoint(self.host.ip, self.port),
             dst=pkt.src,

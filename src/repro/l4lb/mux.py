@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.kvstore.hashring import HashRing
 from repro.net.packet import Packet
+from repro.obs import OBS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.l4lb.service import L4LoadBalancer
@@ -74,6 +75,10 @@ class L4Mux:
         stale = [k for k, e in self.flow_table.items() if e.instance_ip == instance_ip]
         for k in stale:
             del self.flow_table[k]
+        if OBS.enabled:
+            OBS.flight(self.name, "flush",
+                       f"{len(stale)} flow-table entries pinned to "
+                       f"{instance_ip} removed")
         return len(stale)
 
     def expire_flows(self, now: float) -> int:
@@ -91,6 +96,9 @@ class L4Mux:
         entry = self.vips.get(vip)
         if entry is None or not entry.instances:
             self.dropped += 1
+            if OBS.enabled:
+                OBS.flight(self.name, "drop",
+                           f"{pkt.src}>{pkt.dst}: no instances for VIP {vip}")
             return
         now = self.lb.loop.now()
         flow_key = f"{pkt.src}>{pkt.dst}"
@@ -115,4 +123,10 @@ class L4Mux:
 
         self.flow_table[flow_key] = _FlowEntry(instance_ip, now)
         self.forwarded += 1
+        if OBS.enabled and is_new_flow:
+            OBS.flight(self.name, "route", f"{flow_key} -> {instance_ip}")
+            ctx = pkt.meta.get("obs_ctx")
+            if ctx is not None:
+                OBS.tracer.event("l4.route", self.name, ctx=ctx,
+                                 attrs={"instance": instance_ip})
         self.lb.forward_to_instance(instance_ip, pkt)

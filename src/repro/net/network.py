@@ -21,6 +21,7 @@ from repro.errors import NetworkError
 from repro.net.host import Host
 from repro.net.links import FixedLatency, LatencyModel
 from repro.net.packet import PACKET_POOL, Packet, flags_to_str
+from repro.obs import OBS
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
 from repro.sim.random import SeededRng
@@ -294,6 +295,14 @@ class Network:
         target.deliver(packet)
 
     def _record(self, packet: Packet, point: str, direction: str, dropped: bool) -> None:
+        if dropped and OBS.enabled:
+            # drops are the events failure forensics care about; note them
+            # into the capture point's flight recorder independently of
+            # whether any packet trace is attached
+            OBS.flight(point, "drop",
+                       f"{packet.src} > {packet.dst}: "
+                       f"{flags_to_str(packet.flags)} seq={packet.seq} "
+                       f"len={packet.payload_len}")
         if not self._traces:
             return
         rec = TraceRecord(

@@ -1,0 +1,89 @@
+"""Time-series scraper: periodic snapshots of live metric registries.
+
+The experiments used to build time series by pushing every sample into
+all-samples histograms on hot paths; the scraper inverts that: hot paths
+update O(1) counters/gauges, and a *pull* loop samples them on a fixed
+cadence into bounded ``TimeSeries`` -- Prometheus's model, in sim time.
+
+Unlike the rest of the observability plane the scraper DOES schedule loop
+events (that is its job), so it is strictly opt-in tooling: experiments and
+the ``repro obs`` CLI start one explicitly; nothing on a data path ever
+does.  The golden-trace suite runs with the plane enabled but no scraper,
+which is why "obs enabled" stays zero-perturbation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.events import EventLoop
+from repro.sim.metrics import MetricRegistry, TimeSeries, all_registries
+from repro.sim.process import PeriodicTask
+
+DEFAULT_SCRAPE_INTERVAL = 0.25
+
+
+class MetricScraper:
+    """Samples counters and gauges of a registry set into time series.
+
+    Counters are sampled both as running totals (``*.total``) and as
+    per-interval deltas (``*.rate`` -- events per second over the scrape
+    interval); gauges as instantaneous values.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        registries: Optional[List[MetricRegistry]] = None,
+        interval: float = DEFAULT_SCRAPE_INTERVAL,
+        registry_provider: Optional[Callable[[], List[MetricRegistry]]] = None,
+    ):
+        self.loop = loop
+        self.interval = interval
+        # fixed set, or a provider re-evaluated each scrape (defaults to
+        # every live registry in the process)
+        self._provider = (
+            registry_provider
+            if registry_provider is not None
+            else (lambda: registries) if registries is not None
+            else all_registries
+        )
+        self.series: Dict[str, TimeSeries] = {}
+        self.scrapes = 0
+        self._last_counts: Dict[str, int] = {}
+        self._task = PeriodicTask(loop, interval, self.scrape_once)
+
+    def start(self) -> "MetricScraper":
+        self._task.start()
+        return self
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _series(self, key: str) -> TimeSeries:
+        ts = self.series.get(key)
+        if ts is None:
+            ts = self.series[key] = TimeSeries(key)
+        return ts
+
+    def scrape_once(self) -> None:
+        now = self.loop.now()
+        self.scrapes += 1
+        for reg in self._provider():
+            for name, counter in reg.counters.items():
+                key = f"{reg.name}.{name}"
+                self._series(f"{key}.total").record(now, counter.value)
+                last = self._last_counts.get(key, 0)
+                self._last_counts[key] = counter.value
+                self._series(f"{key}.rate").record(
+                    now, (counter.value - last) / self.interval
+                )
+            for name, gauge in reg.gauges.items():
+                self._series(f"{reg.name}.{name}").record(now, gauge.value)
+
+    # -------------------------------------------------------------- reads --
+    def names(self) -> List[str]:
+        return sorted(self.series)
+
+    def get(self, name: str) -> TimeSeries:
+        return self.series[name]

@@ -14,19 +14,26 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.obs import OBS
 from repro.sim.events import EventLoop
 from repro.sim.metrics import TimeSeries
 
 
 class CpuModel:
-    """A work-conserving single-queue CPU with utilization accounting."""
+    """A work-conserving single-queue CPU with utilization accounting.
+
+    ``owner`` names the component for the sim-time profiler; each
+    ``execute`` may carry a ``phase`` tag, so enabled observability can
+    attribute simulated CPU seconds per (component, phase).
+    """
 
     def __init__(self, loop: EventLoop, cores: float = 1.0,
-                 max_queue_delay: Optional[float] = None):
+                 max_queue_delay: Optional[float] = None, owner: str = ""):
         if cores <= 0:
             raise ValueError(f"cores must be positive, got {cores}")
         self.loop = loop
         self.cores = cores
+        self.owner = owner
         self.max_queue_delay = max_queue_delay
         self.slowdown = 1.0  # gray-failure multiplier on per-item cost
         self._busy_until = 0.0
@@ -37,7 +44,7 @@ class CpuModel:
         self.executed = 0
 
     def execute(self, cost: float, fn: Optional[Callable[..., Any]] = None,
-                *args: Any) -> Optional[float]:
+                *args: Any, phase: str = "") -> Optional[float]:
         """Queue work costing ``cost`` CPU-seconds; run ``fn`` at completion.
 
         Returns the completion time, or None if the work was shed because
@@ -49,12 +56,18 @@ class CpuModel:
         start = max(now, self._busy_until)
         if self.max_queue_delay is not None and start - now > self.max_queue_delay:
             self.dropped += 1
+            if OBS.enabled:
+                OBS.flight(self.owner or "cpu", "shed",
+                           f"queue delay {start - now:.6f}s > "
+                           f"{self.max_queue_delay}s, work dropped")
             return None
         service = cost * self.slowdown / self.cores
         finish = start + service
         self._busy_until = finish
         self._busy_accum += service
         self.executed += 1
+        if OBS.enabled:
+            OBS.profiler.add(self.owner or "cpu", phase or "work", service)
         if fn is not None:
             self.loop.call_later(finish - now, fn, *args)
         return finish

@@ -3,14 +3,27 @@
 The experiments in the paper report medians, P90s, CDFs, utilizations and
 time series; these classes collect exactly those without pulling in heavy
 dependencies on hot paths.
+
+``Histogram`` is sketch-backed: every observation feeds a streaming
+DDSketch-style quantile sketch (O(1) memory, guaranteed relative error),
+and raw samples are additionally retained only up to ``max_samples``.
+Below that cap, percentiles/CDFs are exact -- so existing experiments and
+tests see bit-identical numbers.  Past the cap the raw samples are
+discarded ("spilled") and quantile reads fall back to the sketch; the
+exact-samples APIs (``samples``/``cdf``/``fraction_above``) then raise
+rather than silently degrade.  Tests that need exactness at any size opt
+in with ``exact=True``.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.sketch import QuantileSketch
 
 
 class Counter:
@@ -50,22 +63,67 @@ class Gauge:
         return f"Gauge({self.name!r}, {self.value})"
 
 
-class Histogram:
-    """Stores raw samples; supports exact percentiles and CDFs.
+# Raw samples retained before a (non-exact) histogram spills to its sketch.
+# High enough that every paper experiment stays exact; low enough that a
+# "millions of users" run is bounded.
+DEFAULT_MAX_SAMPLES = 65_536
 
-    Exact (not sketched) because experiment sample counts here are modest
-    (10^4-10^6) and the paper reports exact medians/P90s.
+
+class Histogram:
+    """Latency/value distribution: exact at small n, sketch-backed at scale.
+
+    Args:
+        name: metric name.
+        exact: never spill -- keep every raw sample regardless of size
+            (opt-in for tests that assert exact percentiles on big streams).
+        max_samples: raw-sample retention cap before spilling.
     """
 
-    def __init__(self, name: str = ""):
+    __slots__ = (
+        "name",
+        "exact",
+        "max_samples",
+        "_samples",
+        "_sorted",
+        "_spilled",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_sketch",
+    )
+
+    def __init__(self, name: str = "", exact: bool = False,
+                 max_samples: int = DEFAULT_MAX_SAMPLES):
         self.name = name
+        self.exact = exact
+        self.max_samples = max_samples
         self._samples: List[float] = []
         self._sorted = True
+        self._spilled = False
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._sketch = QuantileSketch()
 
     def observe(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._sketch.add(value)
+        if self._spilled:
+            return
         if self._samples and value < self._samples[-1]:
             self._sorted = False
         self._samples.append(value)
+        if not self.exact and len(self._samples) > self.max_samples:
+            self._samples = []
+            self._sorted = True
+            self._spilled = True
 
     def extend(self, values: Iterable[float]) -> None:
         for v in values:
@@ -76,19 +134,39 @@ class Histogram:
             self._samples.sort()
             self._sorted = True
 
+    def _require_exact(self, what: str) -> None:
+        if self._spilled:
+            raise RuntimeError(
+                f"histogram {self.name!r} spilled its raw samples after "
+                f"{self.max_samples}; {what} needs them -- construct with "
+                f"exact=True (or a larger max_samples) to keep all samples"
+            )
+
+    @property
+    def spilled(self) -> bool:
+        """True once raw samples were discarded and reads are sketch-backed."""
+        return self._spilled
+
+    @property
+    def sketch(self) -> QuantileSketch:
+        return self._sketch
+
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     def percentile(self, p: float) -> float:
-        """Exact percentile with linear interpolation; ``p`` in [0, 100]."""
-        if not self._samples:
+        """Percentile with ``p`` in [0, 100]: exact (linear interpolation)
+        until the histogram spills, sketch-estimated after."""
+        if not self._count:
             raise ValueError(f"histogram {self.name!r} is empty")
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile {p} out of range [0, 100]")
+        if self._spilled:
+            return self._sketch.percentile(p)
         self._ensure_sorted()
         if len(self._samples) == 1:
             return self._samples[0]
@@ -97,6 +175,12 @@ class Histogram:
         hi = min(lo + 1, len(self._samples) - 1)
         frac = rank - lo
         return self._samples[lo] * (1 - frac) + self._samples[hi] * frac
+
+    def quantile(self, q: float) -> float:
+        """Quantile with ``q`` in [0, 1] (same backing as ``percentile``)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} out of range [0, 1]")
+        return self.percentile(q * 100.0)
 
     def median(self) -> float:
         return self.percentile(50.0)
@@ -108,17 +192,21 @@ class Histogram:
         return self.percentile(99.0)
 
     def mean(self) -> float:
-        if not self._samples:
+        if not self._count:
             raise ValueError(f"histogram {self.name!r} is empty")
-        return math.fsum(self._samples) / len(self._samples)
+        if not self._spilled:
+            return math.fsum(self._samples) / len(self._samples)
+        return self._sum / self._count
 
     def min(self) -> float:
-        self._ensure_sorted()
-        return self._samples[0]
+        if not self._count:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self._min
 
     def max(self) -> float:
-        self._ensure_sorted()
-        return self._samples[-1]
+        if not self._count:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self._max
 
     def cdf(self, points: Optional[int] = None) -> List[Tuple[float, float]]:
         """Return (value, cumulative_fraction) pairs.
@@ -127,10 +215,11 @@ class Histogram:
             points: if given, downsample to roughly this many points
                 (always keeping the first and last sample).
         """
+        if self._count == 0:
+            return []
+        self._require_exact("cdf()")
         self._ensure_sorted()
         n = len(self._samples)
-        if n == 0:
-            return []
         step = max(1, n // points) if points else 1
         out = [
             (self._samples[i], (i + 1) / n)
@@ -142,14 +231,16 @@ class Histogram:
 
     def fraction_above(self, threshold: float) -> float:
         """Fraction of samples strictly greater than ``threshold``."""
-        if not self._samples:
+        if not self._count:
             return 0.0
+        self._require_exact("fraction_above()")
         self._ensure_sorted()
         idx = bisect.bisect_right(self._samples, threshold)
         return (len(self._samples) - idx) / len(self._samples)
 
     def samples(self) -> List[float]:
         """A sorted copy of the raw samples."""
+        self._require_exact("samples()")
         self._ensure_sorted()
         return list(self._samples)
 
@@ -202,7 +293,18 @@ class TimeSeries:
         return max(self.values)
 
 
-@dataclass
+# Live registries, for the obs exporters/scraper: every MetricRegistry
+# registers itself weakly, so "export all metrics in the process" needs no
+# plumbing and dead testbeds disappear on their own.
+_REGISTRIES: "weakref.WeakSet[MetricRegistry]" = weakref.WeakSet()
+
+
+def all_registries() -> List["MetricRegistry"]:
+    """Every live registry, name-sorted (creation order breaks ties)."""
+    return sorted(_REGISTRIES, key=lambda r: r.name)
+
+
+@dataclass(eq=False)
 class MetricRegistry:
     """A namespace of metrics, one per component instance."""
 
@@ -211,6 +313,9 @@ class MetricRegistry:
     gauges: Dict[str, Gauge] = field(default_factory=dict)
     histograms: Dict[str, Histogram] = field(default_factory=dict)
     series: Dict[str, TimeSeries] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _REGISTRIES.add(self)
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
@@ -222,9 +327,9 @@ class MetricRegistry:
             self.gauges[name] = Gauge(f"{self.name}.{name}")
         return self.gauges[name]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, exact: bool = False) -> Histogram:
         if name not in self.histograms:
-            self.histograms[name] = Histogram(f"{self.name}.{name}")
+            self.histograms[name] = Histogram(f"{self.name}.{name}", exact=exact)
         return self.histograms[name]
 
     def timeseries(self, name: str) -> TimeSeries:

@@ -24,6 +24,7 @@ from repro.errors import TcpError
 from repro.net.addresses import Endpoint, EphemeralPorts
 from repro.net.host import Host
 from repro.net.packet import ACK, FIN, PSH, RST, SYN, PACKET_POOL, Packet
+from repro.obs import OBS
 from repro.sim.events import EventLoop
 from repro.sim.process import Timer
 from repro.sim.random import stable_hash32
@@ -90,8 +91,14 @@ class TcpStack:
         handler: ConnectionHandler,
         local_ip: Optional[str] = None,
         local_port: Optional[int] = None,
+        obs_ctx: Optional[Tuple[int, int]] = None,
     ) -> "TcpConnection":
-        """Actively open a connection to ``remote``."""
+        """Actively open a connection to ``remote``.
+
+        ``obs_ctx`` is an observability trace context; when tracing is
+        enabled every segment of this connection carries it in
+        ``Packet.meta`` so downstream components join the same trace.
+        """
         ip = local_ip or self.host.ip
         if local_port is None:
             # skip ports still held by live/TIME_WAIT connections
@@ -107,6 +114,7 @@ class TcpStack:
         if key in self._conns:
             raise TcpError(f"connection {local} -> {remote} already exists")
         conn = TcpConnection(self, local, remote, handler)
+        conn.obs_ctx = obs_ctx
         self._conns[key] = conn
         conn._active_open()
         return conn
@@ -165,7 +173,7 @@ class TcpConnection:
         "_recovery_point", "irs", "_rcv_nxt", "_reasm", "_remote_fin_seen",
         "_retx_timer", "_time_wait_timer", "_rto", "_retries", "bytes_sent",
         "bytes_received", "retransmit_count", "opened_at", "established_at",
-        "closed_at",
+        "closed_at", "obs_ctx",
     )
 
     def __init__(
@@ -213,6 +221,7 @@ class TcpConnection:
         self.opened_at = self.loop.now()
         self.established_at: Optional[float] = None
         self.closed_at: Optional[float] = None
+        self.obs_ctx: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------ API --
     def send(self, data: bytes) -> None:
@@ -264,6 +273,12 @@ class TcpConnection:
         self._retx_timer.start(self._rto)
 
     def _passive_open(self, syn: Packet) -> None:
+        if OBS.enabled:
+            # adopt the client's trace context, so the server side of the
+            # connection reports into the same trace
+            ctx = syn.meta.get("obs_ctx")
+            if ctx is not None:
+                self.obs_ctx = ctx
         self.state = TcpState.SYN_RCVD
         self.irs = syn.seq
         self._rcv_nxt = seq_add(syn.seq, 1)
@@ -278,11 +293,12 @@ class TcpConnection:
                     payload: bytes = b"") -> None:
         if with_ack:
             flags |= ACK
-        self.stack._transmit(
-            PACKET_POOL.acquire(self.local, self.remote, flags=flags, seq=seq,
-                                ack=self._rcv_nxt if with_ack else 0,
-                                payload=payload)
-        )
+        pkt = PACKET_POOL.acquire(self.local, self.remote, flags=flags, seq=seq,
+                                  ack=self._rcv_nxt if with_ack else 0,
+                                  payload=payload)
+        if OBS.enabled and self.obs_ctx is not None:
+            pkt.meta["obs_ctx"] = self.obs_ctx
+        self.stack._transmit(pkt)
 
     def _send_ack(self) -> None:
         self._send_flags(ACK, seq=self._snd_nxt)

@@ -254,3 +254,40 @@ def test_golden_trace(name):
     # the engine's own digest (InvariantMonitor's field format) is pinned
     # too: it must agree with what the chaos CLI reports for the same run
     assert outcome.trace_digest == golden["engine_digest"]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_VARIANTS))
+def test_golden_trace_obs_enabled(name):
+    """Zero-perturbation gate for the observability plane: the packet
+    schedule with tracing ENABLED must be bit-identical to the pinned
+    (tracing-disabled) digest.
+
+    Runs after ``test_golden_trace`` in file order, so under GOLDEN_UPDATE
+    the plain test regenerates the file first and this test still
+    *verifies* -- it never skips (CI greps for skips in this suite).
+    """
+    from repro.obs import OBS
+
+    golden = load_golden(name)
+    assert golden is not None, (
+        f"no golden file for scenario {name!r}; generate with "
+        f"GOLDEN_UPDATE=1 first"
+    )
+    OBS.enable()
+    try:
+        recorder, outcome = run_golden_scenario(name)
+        spans_recorded = len(OBS.tracer.spans)
+        flight_events = OBS.recorders.total_events()
+    finally:
+        OBS.disable()
+    # the plane must have been genuinely live, not a disabled no-op
+    assert spans_recorded > 0
+    assert flight_events > 0  # at minimum, the injected faults are noted
+    if (recorder.digest() != golden["digest"]
+            or recorder.count != golden["record_count"]):
+        pytest.fail(
+            "observability plane perturbed the packet schedule:\n"
+            + first_divergence_report(name, golden, recorder),
+            pytrace=False,
+        )
+    assert outcome.trace_digest == golden["engine_digest"]
