@@ -22,7 +22,10 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.net.host import Host
 from repro.obs import OBS
+from repro.tcp.endpoint import TcpStack
+from repro.workload.clients import OpenLoopGenerator
 
 
 @dataclass(frozen=True)
@@ -30,7 +33,9 @@ class FaultSpec:
     """One scheduled fault.  ``at`` is seconds after load start; a
     ``duration`` makes the fault auto-revert (heal, recover, speed up)."""
 
-    kind: str  # partition|loss|duplicate|latency|crash|flap|slow_cpu|probe_loss
+    # partition|loss|duplicate|latency|crash|flap|slow_cpu|probe_loss|
+    # surge|drain
+    kind: str
     at: float
     duration: Optional[float] = None
     target: Optional[str] = None  # host-level faults
@@ -42,10 +47,13 @@ class FaultSpec:
     symmetric: bool = True
     period: float = 1.0  # flap cycle length (down half, up half)
     count: int = 2  # flap cycles
+    deadline: Optional[float] = None  # drain: force handoff after this
 
     def describe(self) -> str:
         if self.target is not None:
             where = self.target
+        elif self.kind == "surge":
+            where = "clients"
         elif self.src is not None:
             where = f"{self.src}->{self.dst}"
         else:
@@ -57,6 +65,9 @@ class FaultSpec:
             "slow_cpu": f" x{self.factor}",
             "probe_loss": f" rate={self.rate}",
             "flap": f" period={self.period}s count={self.count}",
+            "surge": f" rate={self.rate}/s",
+            "drain": (f" deadline={self.deadline}s"
+                      if self.deadline is not None else ""),
         }.get(self.kind, "")
         window = f" for {self.duration}s" if self.duration else ""
         return f"t+{self.at}s {self.kind} {where}{extras}{window}"
@@ -103,6 +114,20 @@ def slow_cpu(at: float, target: str, factor: float,
 
 def probe_loss(at: float, rate: float, duration: Optional[float] = None) -> FaultSpec:
     return FaultSpec(kind="probe_loss", at=at, rate=rate, duration=duration)
+
+
+def surge(at: float, rate: float, duration: Optional[float] = None) -> FaultSpec:
+    """Flash crowd: a fresh client host fires open-loop requests at
+    ``rate``/s (stopped after ``duration``).  The surge host gets its own
+    IP prefix (172.16.9.x) so qos tiering can classify it."""
+    return FaultSpec(kind="surge", at=at, rate=rate, duration=duration)
+
+
+def drain(at: float, target: str,
+          deadline: Optional[float] = None) -> FaultSpec:
+    """Graceful scale-in: ask the controller to drain an LB instance
+    (make-before-break).  Vacuous on HAProxy beds."""
+    return FaultSpec(kind="drain", at=at, target=target, deadline=deadline)
 
 
 # -- target resolution --------------------------------------------------------
@@ -213,6 +238,34 @@ def apply_fault(bed, spec: FaultSpec) -> AppliedFault:
         controller.probe_loss_rate = spec.rate
         return AppliedFault(
             spec, revert=lambda: setattr(controller, "probe_loss_rate", 0.0))
+    if spec.kind == "surge":
+        # index off the bed (not a module counter) so identical runs
+        # attach identically-named hosts -- determinism depends on it
+        surge_clients = getattr(bed, "_surge_clients", None)
+        if surge_clients is None:
+            surge_clients = bed._surge_clients = []
+        idx = len(surge_clients)
+        host = bed.network.attach(
+            Host(f"surge-client-{idx}", [f"172.16.9.{idx + 1}"],
+                 site="internet")
+        )
+        stack = TcpStack(host, bed.loop)
+        gen = OpenLoopGenerator(
+            stack, bed.loop, bed.target(), spec.rate,
+            path_fn=bed.website.random_object, http_timeout=5.0,
+        )
+        gen.start()
+        surge_clients.append(gen)
+        return AppliedFault(spec, revert=gen.stop, target_name=host.name)
+    if spec.kind == "drain":
+        if bed.yoda is None:
+            return AppliedFault(spec)  # HAProxy scale-in just drops flows
+        target = resolve_target(bed, spec.target)
+        if target is None:
+            return AppliedFault(spec)
+        bed.yoda.controller.drain_instance(target.name, deadline=spec.deadline)
+        # the drain coordinator owns completion; nothing to revert
+        return AppliedFault(spec, target_name=target.host.name)
     raise SimulationError(f"unknown fault kind {spec.kind!r}")
 
 

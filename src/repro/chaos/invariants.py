@@ -311,6 +311,120 @@ class InvariantMonitor:
         return self._digest.hexdigest()
 
 
+class NoAcceptedRequestDropped:
+    """Trace tap: an *accepted* request is never sacrificed.
+
+    The overload-control plane is allowed to refuse work -- but only at
+    SYN time, before any state or promise exists.  A flow counts as
+    **accepted** once the LB has both completed the client handshake
+    (SYN-ACK seen) and acknowledged at least one request byte; from then
+    on shedding it is a correctness bug, not a policy decision.  Two
+    breaches:
+
+    - **reset-after-accept**: an RST toward the client after acceptance
+      (caught online, at the packet).
+    - **vanished**: an accepted flow opened during the strict window that
+      never reaches an orderly close with response bytes delivered.
+
+    SYN-stage sheds (the qos plane's stateless RST arrives before any
+    SYN-ACK) and handshake-only flood flows (no request byte ever acked)
+    are exempt by construction -- which is exactly the boundary the
+    flash-crowd scenario exists to probe.  The invariant is strictly
+    weaker than acked-byte-loss + flow-conservation together, so
+    attaching it to every scenario can never fail a run the existing
+    invariants pass.
+    """
+
+    invariant = "no-accepted-request-dropped"
+
+    def __init__(self, bed):
+        self.bed = bed
+        self.vips: Set[str] = {bed.vip}
+        self._vip_client_eps = {f"{vip}:80" for vip in self.vips}
+        self.flows: Dict[str, _FlowAudit] = {}
+        self.checks = 0
+        self.violations: List[Violation] = []
+        self.violation_count = 0
+
+    def _violate(self, time: float, flow: str, detail: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < MAX_VIOLATIONS_KEPT:
+            self.violations.append(Violation(self.invariant, time, flow,
+                                             detail,
+                                             forensics=_forensics_tail()))
+
+    def record(self, rec: TraceRecord) -> None:
+        if rec.point != "wire" or rec.direction != "tx":
+            return
+        if rec.dst in self._vip_client_eps:
+            flow_id = f"{rec.src}>{rec.dst}"
+            audit = self.flows.get(flow_id)
+            if audit is None:
+                audit = self.flows[flow_id] = _FlowAudit(rec.time)
+            audit.last_activity = rec.time
+            if "S" in rec.flags and audit.client_isn is None:
+                audit.client_isn = rec.seq
+            if "F" in rec.flags:
+                audit.fin_from_client = True
+        elif rec.src in self._vip_client_eps:
+            flow_id = f"{rec.dst}>{rec.src}"
+            audit = self.flows.get(flow_id)
+            if audit is None:
+                audit = self.flows[flow_id] = _FlowAudit(rec.time)
+            audit.last_activity = rec.time
+            if "S" in rec.flags and "." in rec.flags:
+                audit.synack_seen = True
+            if "R" in rec.flags:
+                if (not audit.rst_from_lb and audit.synack_seen
+                        and audit.acked_req_bytes > 0):
+                    self.checks += 1
+                    self._violate(
+                        rec.time, flow_id,
+                        f"accepted request reset "
+                        f"({audit.acked_req_bytes} request bytes acked)",
+                    )
+                audit.rst_from_lb = True
+                return
+            if "F" in rec.flags:
+                audit.fin_from_lb = True
+            if not rec.dropped:
+                audit.resp_bytes += rec.payload_len
+            if "." in rec.flags and audit.client_isn is not None:
+                acked = seq_diff(rec.ack, (audit.client_isn + 1) & 0xFFFFFFFF)
+                if acked > audit.acked_req_bytes:
+                    audit.acked_req_bytes = acked
+
+    def finalize(self, strict_before: Optional[float] = None) -> Verdict:
+        now = self.bed.loop.now()
+        if strict_before is not None:
+            for flow_id, audit in self.flows.items():
+                accepted = (audit.client_isn is not None and audit.synack_seen
+                            and audit.acked_req_bytes > 0)
+                if not accepted or audit.opened_at >= strict_before:
+                    continue  # never accepted: refusing it was legal
+                self.checks += 1
+                if audit.rst_from_lb:
+                    continue  # already reported at the RST
+                clean = (audit.fin_from_lb and audit.fin_from_client
+                         and audit.resp_bytes > 0)
+                if not clean:
+                    self._violate(
+                        now, flow_id,
+                        f"accepted flow (opened {audit.opened_at:.3f}s, "
+                        f"{audit.acked_req_bytes} bytes acked) never "
+                        f"finished (resp_bytes={audit.resp_bytes} "
+                        f"fin_lb={audit.fin_from_lb} "
+                        f"fin_client={audit.fin_from_client})",
+                    )
+        return Verdict(
+            invariant=self.invariant,
+            ok=self.violation_count == 0,
+            checked=self.checks,
+            violations=list(self.violations),
+            violation_count=self.violation_count,
+        )
+
+
 REPLICATION_WINDOW = 2.0  # seconds to restore K replicas after a change
 REPLICATION_SAMPLE_INTERVAL = 0.25
 

@@ -15,6 +15,7 @@ from typing import Dict, List
 
 from repro.chaos.faults import (
     crash,
+    drain,
     duplicate,
     flap,
     latency_spike,
@@ -22,8 +23,10 @@ from repro.chaos.faults import (
     partition,
     probe_loss,
     slow_cpu,
+    surge,
 )
 from repro.chaos.scenario import Scenario
+from repro.qos.config import QosConfig
 
 BUILTIN_SCENARIOS: Dict[str, Scenario] = {}
 
@@ -187,6 +190,35 @@ _register(Scenario(
         probe_loss(0.5, 0.30, duration=8.0),
         crash(3.0, "lb:serving"),
     ],
+))
+
+
+_register(Scenario(
+    name="flash-crowd",
+    description=(
+        "A 300 req/s open-loop surge (tier-2 clients, IP 172.16.9.x) "
+        "slams the VIP while an instance is drained for scale-in "
+        "mid-crowd, then a serving instance crashes outright.  The qos "
+        "plane must shed the surge at SYN time (stateless RST, tier "
+        "floor 60%) while tier-0 browser clients stay admitted, the "
+        "drain must hand its instance off make-before-break, and "
+        "recovery must still work with the pool down two -- the "
+        "no-accepted-request-dropped verdict is the point of the "
+        "exercise."
+    ),
+    faults=[
+        surge(2.0, 300.0, duration=3.0),
+        drain(4.0, "lb:0", deadline=6.0),
+        crash(8.0, "lb:serving"),
+    ],
+    object_bytes=80_000,
+    object_count=8,
+    qos_config=QosConfig(
+        admission_rate=30.0,
+        admission_burst=20.0,
+        tier_floors=(0.0, 0.0, 0.6),
+        client_tiers=(("172.16.9.", 2),),
+    ),
 ))
 
 

@@ -24,10 +24,12 @@ from typing import Dict, List, Optional
 from repro.chaos.faults import AppliedFault, FaultSpec, apply_fault
 from repro.chaos.invariants import (
     InvariantMonitor,
+    NoAcceptedRequestDropped,
     ReplicationFactorMonitor,
     Verdict,
 )
 from repro.experiments.harness import Testbed, TestbedConfig
+from repro.qos.config import QosConfig
 
 
 @dataclass
@@ -47,6 +49,7 @@ class Scenario:
     num_lb_instances: int = 4
     num_store_servers: int = 3
     num_backends: int = 3
+    qos_config: Optional[QosConfig] = None  # overload-control plane (yoda)
 
     def timeline(self) -> List[str]:
         return [spec.describe() for spec in sorted(self.faults, key=lambda s: s.at)]
@@ -111,6 +114,7 @@ class ScenarioEngine:
         self.bed: Optional[Testbed] = None
         self.monitor: Optional[InvariantMonitor] = None
         self.rf_monitor: Optional[ReplicationFactorMonitor] = None
+        self.nar_monitor: Optional[NoAcceptedRequestDropped] = None
 
     def build(self) -> Testbed:
         s = self.scenario
@@ -125,9 +129,14 @@ class ScenarioEngine:
             flat_object_bytes=s.object_bytes,
             flat_object_count=s.object_count,
             kv_self_healing=self.repair,
+            qos=s.qos_config if self.lb == "yoda" else None,
         ))
         self.monitor = InvariantMonitor(self.bed)
         self.bed.network.add_trace(self.monitor)
+        # load shedding may refuse work but never sacrifices accepted
+        # requests -- audited on every scenario, not just qos ones
+        self.nar_monitor = NoAcceptedRequestDropped(self.bed)
+        self.bed.network.add_trace(self.nar_monitor)
         for tap in self.taps:
             self.bed.network.add_trace(tap)
         if self.bed.yoda is not None:
@@ -153,6 +162,7 @@ class ScenarioEngine:
                    if a.spec.kind in ("crash", "flap") and a.target_name]
         verdicts = self.monitor.finalize(
             strict_before=load_end, exclude_instances=crashed)
+        verdicts.append(self.nar_monitor.finalize(strict_before=load_end))
         if self.rf_monitor is not None:
             verdicts.append(self.rf_monitor.finalize())
         return ScenarioOutcome(

@@ -25,7 +25,18 @@ import sys
 import time
 from typing import Callable, Dict, Tuple
 
-from repro.experiments import fig6, fig9, fig10, fig12, fig13, fig14, fig15, fig16, table1
+from repro.experiments import (
+    fig6,
+    fig9,
+    fig10,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig_overload,
+    table1,
+)
 
 # name -> (description, full_run(seed), quick_run(seed))
 EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
@@ -78,6 +89,11 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
                                base_rate_per_instance=80.0,
                                duration=16.0, step_at=6.0),
     ),
+    "overload": (
+        "flash crowd: goodput with/without the qos overload-control plane",
+        lambda seed: fig_overload.run_ablation(seed=seed),
+        lambda seed: fig_overload.run_ablation(seed=seed, quick=True),
+    ),
     "fig14": (
         "make-before-break policy updates",
         lambda seed: fig14.run(seed=seed),
@@ -110,7 +126,10 @@ def main(argv=None) -> int:
                       help="smaller workloads, same shapes")
     chaosp = sub.add_parser(
         "chaos", help="run a chaos scenario ('list', a name, or 'all')")
-    chaosp.add_argument("scenario")
+    chaosp.add_argument("scenario", nargs="?", default=None)
+    chaosp.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="enumerate built-in scenarios and their "
+                             "fault timelines")
     chaosp.add_argument("--seed", type=int, default=2016)
     chaosp.add_argument("--no-baseline", action="store_true",
                         help="skip the HAProxy contrast run")
@@ -202,7 +221,7 @@ def _run_chaos(args) -> int:
     from repro.chaos import get_scenario, run_contrast, run_scenario
     from repro.chaos.library import BUILTIN_SCENARIOS, scenario_names
 
-    if args.scenario == "list":
+    if args.list_scenarios or args.scenario in (None, "list"):
         width = max(len(n) for n in BUILTIN_SCENARIOS)
         for name in scenario_names():
             scenario = BUILTIN_SCENARIOS[name]

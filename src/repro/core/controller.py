@@ -17,7 +17,7 @@ Four roles, as in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.instance import YodaInstance
 from repro.core.policy import VipPolicy
@@ -26,6 +26,7 @@ from repro.http.server import BackendHttpServer
 from repro.kvstore.client import MemcachedCluster
 from repro.l4lb.service import L4LoadBalancer
 from repro.obs import OBS
+from repro.qos.drain import DrainCoordinator, DrainState, DrainStatus
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
 from repro.sim.process import PeriodicTask
@@ -34,6 +35,8 @@ from repro.sim.random import SeededRng
 MONITOR_INTERVAL = 0.6
 DOWN_AFTER_PROBES = 2  # consecutive failed probes before marking down
 UP_AFTER_PROBES = 2  # consecutive good probes before marking up again
+DRAIN_DEADLINE = 10.0  # forced TCPStore handoff after this long draining
+DRAIN_CHECK_INTERVAL = 0.25
 
 
 class ControllerHealthView:
@@ -106,6 +109,9 @@ class AutoscaleConfig:
     target: float = 0.55  # size so average CPU lands here
     check_interval: float = 5.0
     scale_down: bool = False
+    # scale in by draining (make-before-break) instead of the legacy
+    # instant removal that relies on TCPStore failover for every flow
+    drain: bool = False
 
 
 class YodaController:
@@ -121,6 +127,8 @@ class YodaController:
         down_after: int = DOWN_AFTER_PROBES,
         up_after: int = UP_AFTER_PROBES,
         rng: Optional[SeededRng] = None,
+        drain_deadline: float = DRAIN_DEADLINE,
+        drain_check_interval: float = DRAIN_CHECK_INTERVAL,
     ):
         self.loop = loop
         self.l4lb = l4lb
@@ -138,6 +146,10 @@ class YodaController:
         self._kv_health = ControllerHealthView(down_after, up_after)
         self._autoscale: Optional[AutoscaleConfig] = None
         self._scaler: Optional[PeriodicTask] = None
+        self.draining: Set[str] = set()
+        self.drain_deadline = drain_deadline
+        self.drain_check_interval = drain_check_interval
+        self._drainer: Optional[DrainCoordinator] = None
         self.traffic_stats: Dict[str, int] = {}
         # Probes can themselves be lost (chaos scenarios raise this); the
         # rng is only consulted when the rate is nonzero, so healthy runs
@@ -205,7 +217,78 @@ class YodaController:
         return [
             n for n in names
             if self.active.get(n) and self._instance_alive.get(n)
+            and n not in self.draining
         ]
+
+    # -------------------------------------------------------------- draining --
+    def drain_instance(self, name: str, deadline: Optional[float] = None,
+                       to_spare: bool = False) -> DrainStatus:
+        """Scale an instance in without breaking its flows (make before
+        break, DESIGN.md section 7).
+
+        The instance leaves the mux hash rings immediately -- no new SYN
+        lands on it -- but stays reachable through its SNAT ownership and
+        flow-table pins, so established flows finish in place.  When its
+        flow table empties it is removed cleanly; if ``deadline`` elapses
+        first, the survivors are handed off through TCPStore (the
+        failover path, invoked deliberately).
+        """
+        if name not in self.instances:
+            raise ControllerError(f"unknown instance {name!r}")
+        if name in self.draining:
+            raise ControllerError(f"instance {name!r} is already draining")
+        if not [n for n in self.live_instance_names() if n != name]:
+            raise ControllerError("cannot drain the last live instance")
+        instance = self.instances[name]
+        self.draining.add(name)
+        instance.start_drain()
+        if self._drainer is None:
+            self._drainer = DrainCoordinator(self.loop, self,
+                                             self.drain_check_interval)
+        status = self._drainer.start(
+            name, self.drain_deadline if deadline is None else deadline,
+            to_spare=to_spare,
+        )
+        self.metrics.counter("drains_started").inc()
+        if OBS.enabled:
+            OBS.flight("controller", "drain_start",
+                       f"{name} flows={status.flows_at_start} "
+                       f"deadline={status.deadline_at:.3f}")
+        for vip, assigned in self.assignments.items():
+            if name in assigned:
+                self._push_mapping(vip)
+        return status
+
+    def _finish_drain(self, status: DrainStatus, crashed: bool = False) -> None:
+        """DrainCoordinator callback: the instance emptied, timed out, or
+        crashed mid-drain."""
+        name = status.name
+        self.draining.discard(name)
+        instance = self.instances.get(name)
+        self.active[name] = False
+        vips = [vip for vip, assigned in self.assignments.items()
+                if name in assigned]
+        for vip in vips:
+            self.assignments[vip].remove(name)
+            self._push_mapping(vip)
+        if instance is not None and not crashed:
+            if status.state is DrainState.FORCED:
+                # Deadline hit: forget local state (keeping the TCPStore
+                # records) and flush the mux pins, so the ring re-hashes
+                # the survivors' next packets onto live instances, which
+                # recover them.  The SNAT range stays allocated: recovered
+                # flows keep their ports.
+                instance.release_flows()
+                self.l4lb.flush_instance(instance.ip)
+                self.metrics.counter("drains_forced").inc()
+            else:
+                for vip in vips:
+                    self.l4lb.snat.release(vip, instance.ip)
+                self.metrics.counter("drains_completed").inc()
+        self.metrics.counter("instances_removed").inc()
+        if status.to_spare and instance is not None and not crashed:
+            instance.draining = False
+            self.spares.append(instance)
 
     # ----------------------------------------------------------------- VIPs --
     def add_vip(self, policy: VipPolicy,
@@ -224,7 +307,7 @@ class YodaController:
                 self.backends[name] = server
         names = instance_names or [
             n for n, live in self._instance_alive.items()
-            if live and self.active.get(n)
+            if live and self.active.get(n) and n not in self.draining
         ]
         if not names:
             raise ControllerError("no live instances to assign the VIP to")
@@ -279,12 +362,23 @@ class YodaController:
         # drain; the mapping change is what redirects traffic
 
     def _push_mapping(self, vip: str, flush_instance: Optional[str] = None) -> None:
+        assigned = self.assignments.get(vip, [])
         ips = [
             self.instances[n].ip
-            for n in self.assignments.get(vip, [])
+            for n in assigned
             if self._instance_alive.get(n) and self.active.get(n)
+            and n not in self.draining
         ]
-        self.l4lb.update_mapping(vip, ips, flush_removed=True)
+        # draining instances leave the hash ring (no new SYNs) but stay
+        # known to the muxes so pinned/SNAT-owned flows still reach them
+        draining_ips = [
+            self.instances[n].ip
+            for n in assigned
+            if n in self.draining
+            and self._instance_alive.get(n) and self.active.get(n)
+        ]
+        self.l4lb.update_mapping(vip, ips, flush_removed=True,
+                                 draining_ips=draining_ips)
 
     # --------------------------------------------------------------- monitor --
     def register_backend(self, name: str, server: BackendHttpServer) -> None:
@@ -383,6 +477,7 @@ class YodaController:
         live = [
             self.instances[n] for n in self.instances
             if self._instance_alive[n] and self.active.get(n)
+            and n not in self.draining
         ]
         if not live:
             return
@@ -402,6 +497,9 @@ class YodaController:
             self.metrics.counter("scaled_up").inc(to_add)
         elif cfg.scale_down and avg < cfg.low_watermark and len(live) > 1:
             victim = live[-1]
-            self.remove_instance(victim.name)
-            self.spares.append(victim)
+            if cfg.drain:
+                self.drain_instance(victim.name, to_spare=True)
+            else:
+                self.remove_instance(victim.name)
+                self.spares.append(victim)
             self.metrics.counter("scaled_down").inc()

@@ -36,6 +36,8 @@ from repro.net.addresses import Endpoint
 from repro.net.host import Host
 from repro.net.packet import ACK, FIN, RST, SYN, Packet
 from repro.obs import OBS
+from repro.qos.config import QosConfig
+from repro.qos.plane import InstanceQos
 from repro.sim.cpu import CpuModel
 from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricRegistry
@@ -93,6 +95,7 @@ class _LocalFlow:
         "parsed_bytes", "requests_seen", "resp_high",
         "tls", "tls_codec", "tls_records", "tls_hello_done",
         "resp_out", "resp_acked", "cert_timer", "obs_ctx", "obs_spans",
+        "qos_slot", "backend_name",
     )
 
     def __init__(self, state: FlowState, now: float):
@@ -136,6 +139,12 @@ class _LocalFlow:
         # spans, keyed by stage name (None while the plane is disabled)
         self.obs_ctx = None
         self.obs_spans: Optional[Dict[str, object]] = None
+        # overload-control bookkeeping: whether this flow holds a
+        # concurrency-limiter slot, and which backend (by rule-table name)
+        # it is connected to -- None for recovered flows, whose connect
+        # outcome says nothing about backend health from here
+        self.qos_slot = False
+        self.backend_name: Optional[str] = None
 
     def key(self) -> str:
         return f"{self.state.client}|{self.state.vip}"
@@ -203,6 +212,7 @@ class YodaInstance:
         cost_model: Optional[YodaCostModel] = None,
         scan_cost_model: Optional[ScanCostModel] = None,
         l4lb=None,
+        qos_config: Optional[QosConfig] = None,
     ):
         self.host = host
         self.loop = loop
@@ -214,6 +224,11 @@ class YodaInstance:
         self.cpu = CpuModel(loop, owner=host.name)
         self.metrics = MetricRegistry(host.name)
         self.backend_view: BackendView = AllHealthy()
+        self.qos: Optional[InstanceQos] = (
+            InstanceQos(qos_config, loop.now, self.metrics, host.name)
+            if qos_config is not None else None
+        )
+        self.draining = False
 
         self.policies: Dict[str, VipPolicy] = {}
         self._tables: Dict[str, Tuple[int, RuleTable]] = {}
@@ -248,6 +263,7 @@ class YodaInstance:
                 flow.syn_timer.cancel()
             if flow.cert_timer is not None:
                 flow.cert_timer.cancel()
+            self._release_qos_slot(flow)
         self.flows.clear()
         self.by_server.clear()
         self._recovering_c.clear()
@@ -255,6 +271,39 @@ class YodaInstance:
 
     def recover(self) -> None:
         self.host.recover()
+
+    # -------------------------------------------------------------- draining --
+    def start_drain(self) -> None:
+        """Stop admitting new connections; existing flows keep running.
+
+        The controller pairs this with pulling the instance from the mux
+        hash rings, so refused SYNs are retransmitted onto a live
+        instance (make-before-break scale-in, DESIGN.md section 7).
+        """
+        self.draining = True
+
+    def release_flows(self) -> None:
+        """Forget all local flow state WITHOUT deleting the TCPStore
+        records: the deadline-forced half of a drain.  Surviving flows
+        recover on whichever instance the mux re-hashes their next packet
+        to -- the paper's failover path, exercised deliberately."""
+        for flow in list(self.flows.values()):
+            if flow.syn_timer is not None:
+                flow.syn_timer.cancel()
+            if flow.cert_timer is not None:
+                flow.cert_timer.cancel()
+            if OBS.enabled and flow.obs_spans is not None:
+                for name in ("storage_a", "storage_b", "server_connect",
+                             "rule_scan"):
+                    self._obs_end(flow, name, ok=False)
+                self._obs_end(flow, "flow", completed=False, handed_off=True)
+            self._release_qos_slot(flow)
+        self.flows.clear()
+        self.by_server.clear()
+        self._recovering_c.clear()
+        self._recovering_s.clear()
+        for in_use in self._snat_in_use.values():
+            in_use.clear()
 
     # ---------------------------------------------------------------- policy --
     def install_policy(self, policy: VipPolicy) -> None:
@@ -400,11 +449,27 @@ class YodaInstance:
             if flow.syn_stored:
                 self._send_syn_ack(flow)  # duplicate SYN: deterministic reply
             return
+        if self.draining:
+            # No new connections during make-before-break scale-in.  Drop
+            # the SYN silently: the client's retransmit re-hashes through
+            # the mux ring, which no longer includes this instance.
+            self.metrics.counter("syns_refused_draining").inc()
+            if OBS.enabled:
+                OBS.flight(self.name, "drain_refuse", str(pkt.src))
+            return
+        qos_slot = False
+        if self.qos is not None:
+            decision = self.qos.admit_syn(pkt.dst.ip, pkt.src.ip)
+            if not decision.admitted:
+                self._shed_syn(pkt, decision)
+                return
+            qos_slot = self.qos.limiter is not None
         state = FlowState(
             client=pkt.src, vip=pkt.dst, client_isn=pkt.seq,
             created_at=self.loop.now(),
         )
         flow = _LocalFlow(state, self.loop.now())
+        flow.qos_slot = qos_slot
         policy = self.policies[pkt.dst.ip]
         if policy.certificate is not None:
             flow.enable_tls()
@@ -433,6 +498,7 @@ class YodaInstance:
                 self._obs_end(flow, "storage_a", ok=False)
                 self._obs_end(flow, "flow", ok=False)
                 OBS.flight(self.name, "storage_a_failed", key)
+            self._release_qos_slot(flow)
             del self.flows[key]
             return
         self.metrics.histogram("storage_a_latency").observe(self.loop.now() - t0)
@@ -441,6 +507,42 @@ class YodaInstance:
         flow.syn_stored = True
         flow.t_synack = self.loop.now()
         self._send_syn_ack(flow)
+
+    def _shed_syn(self, pkt: Packet, decision) -> None:
+        """Stateless SYN-stage rejection (load shedding).
+
+        The RST's sequence number is the deterministic yoda ISN, so the
+        reject is computed from the packet alone: no flow record, no
+        TCPStore write, no SNAT port -- a shed connection costs the
+        instance nothing but this one packet, which is what lets an
+        overloaded instance keep shedding at line rate.
+        """
+        self.metrics.counter("syns_shed").inc()
+        if OBS.enabled:
+            OBS.flight(self.name, "shed",
+                       f"{pkt.src} reason={decision.reason} "
+                       f"tier={decision.tier}")
+            ctx = pkt.meta.get("obs_ctx")
+            if ctx is not None:
+                OBS.tracer.event("qos.shed", self.name, ctx=ctx,
+                                 attrs={"reason": decision.reason,
+                                        "tier": decision.tier})
+        self._send(Packet(
+            src=pkt.dst, dst=pkt.src, flags=RST | ACK,
+            seq=yoda_isn(pkt.src, pkt.dst), ack=seq_add(pkt.seq, 1),
+        ))
+
+    def _release_qos_slot(self, flow: _LocalFlow) -> None:
+        if flow.qos_slot:
+            flow.qos_slot = False
+            self.qos.release_slot()
+
+    def _selection_view(self) -> BackendView:
+        """What rule scanning consults: controller health, intersected
+        with this instance's circuit breakers when qos is armed."""
+        if self.qos is not None:
+            return self.qos.view(self.backend_view)
+        return self.backend_view
 
     def _send_syn_ack(self, flow: _LocalFlow) -> None:
         state = flow.state
@@ -613,7 +715,7 @@ class YodaInstance:
             flow.requests_seen = max(1, len(flow.parsed))
         version, table = self._tables[policy.vip]
         flow.policy_version = version
-        result = table.select(request, self.rng, self.backend_view)
+        result = table.select(request, self.rng, self._selection_view())
         scan_cpu = self.cost.scan_cpu_base + self.cost.scan_cpu_per_rule * len(table)
         self.cpu.execute(scan_cpu, phase="rule_scan")
         if result is None:
@@ -667,6 +769,7 @@ class YodaInstance:
         if flow is None or self.host.failed or flow.phase is not FlowPhase.AWAIT_HEADER:
             return
         state = flow.state
+        flow.backend_name = backend
         server_ep = policy.endpoint_of(backend)
         snat_port = self._alloc_snat_port(policy.vip)
         state.server = server_ep
@@ -706,6 +809,8 @@ class YodaInstance:
         flow.syn_tries += 1
         if flow.syn_tries > SERVER_SYN_RETRIES:
             self.metrics.counter("server_connect_failed").inc()
+            if self.qos is not None and flow.backend_name is not None:
+                self.qos.backend_failure(flow.backend_name)
             self._send(Packet(src=flow.state.vip, dst=flow.state.client,
                               flags=RST | ACK, seq=flow.state.yoda_isn,
                               ack=seq_add(flow.state.client_isn, 1)))
@@ -754,6 +859,9 @@ class YodaInstance:
             if state.established:
                 self._send(self._translate_to_client(flow, pkt))
             else:
+                # refused during connect: that is breaker-relevant signal
+                if self.qos is not None and flow.backend_name is not None:
+                    self.qos.backend_failure(flow.backend_name)
                 self._send(Packet(src=state.vip, dst=state.client,
                                   flags=RST | ACK, seq=state.yoda_isn,
                                   ack=seq_add(state.client_isn, 1)))
@@ -826,6 +934,10 @@ class YodaInstance:
         if OBS.enabled:
             self._obs_end(flow, "storage_b", end=now, ok=True)
             self._obs_end(flow, "server_connect", end=now, ok=True)
+        if self.qos is not None and flow.backend_name is not None:
+            self.qos.backend_success(flow.backend_name,
+                                     now - flow.t_server_syn)
+        self._release_qos_slot(flow)  # flow left the connection phase
         flow.phase = FlowPhase.TUNNEL
         flow.t_established = now
         self._send_server_handshake_ack(flow)
@@ -867,13 +979,14 @@ class YodaInstance:
         """
         state = flow.state
         version, table = self._tables[policy.vip]
-        result = table.select(request, self.rng, self.backend_view)
+        result = table.select(request, self.rng, self._selection_view())
         if result is None:
             return False  # keep the current backend rather than reset
         new_ep = policy.endpoint_of(result.backend)
         if new_ep == state.server:
             return False  # same backend: the connection is simply reused
         self.metrics.counter("backend_switches").inc()
+        flow.backend_name = result.backend
         # close the old backend connection and drop its TCPStore index
         old_skey = (str(state.server), state.snat_port)
         self.by_server.pop(old_skey, None)
@@ -1089,6 +1202,7 @@ class YodaInstance:
                 self._obs_end(flow, name, ok=False)
             self._obs_end(flow, "flow", completed=False)
         self.flows.pop(flow.key(), None)
+        self._release_qos_slot(flow)
         if flow.syn_timer is not None:
             flow.syn_timer.cancel()
         if flow.cert_timer is not None:

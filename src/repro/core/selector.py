@@ -117,6 +117,12 @@ class RuleTable:
             result = self._scan(request, rng, _FailOpen(view))
             if result is not None:
                 self.panic_selections += 1
+        if result is not None:
+            # optional hook: views that meter admissions (e.g. half-open
+            # circuit-breaker probes) learn which backend won the scan
+            notify = getattr(view, "on_selected", None)
+            if notify is not None:
+                notify(result.backend)
         return result
 
     def _scan(

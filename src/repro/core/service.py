@@ -23,6 +23,7 @@ from repro.kvstore.repair import FlowStateRepairer
 from repro.l4lb.service import L4LoadBalancer
 from repro.net.host import Host
 from repro.net.network import Network
+from repro.qos.config import HardeningConfig, QosConfig
 from repro.sim.events import EventLoop
 from repro.sim.random import SeededRng
 
@@ -42,6 +43,7 @@ class YodaServiceConfig:
     kv_op_timeout: float = 0.1
     kv_max_retries: int = 2
     kv_dead_after_timeouts: int = 3
+    kv_quarantine: float = 1.0
     # self-healing store: read-repair + hinted handoff in the clients and
     # an anti-entropy sweeper per instance.  Off = the paper's client-side
     # replication exactly as published (the durability ablation).
@@ -53,6 +55,23 @@ class YodaServiceConfig:
     scan_cost_model: ScanCostModel = field(default_factory=ScanCostModel)
     instance_prefix: str = "10.1"
     store_prefix: str = "10.2"
+    # overload-control plane (None = not constructed; a default QosConfig
+    # is armed but neutral -- it never sheds, breaks or limits)
+    qos: Optional[QosConfig] = None
+    # one bundle overriding the scattered hardening knobs above, for
+    # sweeps/ablations; defaults equal the historical constants exactly
+    hardening: Optional[HardeningConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.hardening is not None:
+            h = self.hardening
+            self.monitor_interval = h.monitor_interval
+            self.down_after = h.down_after
+            self.up_after = h.up_after
+            self.kv_op_timeout = h.kv_op_timeout
+            self.kv_max_retries = h.kv_max_retries
+            self.kv_dead_after_timeouts = h.kv_dead_after_timeouts
+            self.kv_quarantine = h.kv_quarantine
 
 
 class YodaService:
@@ -90,11 +109,15 @@ class YodaService:
             self.instances.append(self._build_instance(i))
         self._next_instance_id = cfg.num_instances
 
+        controller_kwargs = {}
+        if cfg.qos is not None:
+            controller_kwargs["drain_deadline"] = cfg.qos.drain_deadline
+            controller_kwargs["drain_check_interval"] = cfg.qos.drain_check_interval
         self.controller = YodaController(
             loop, self.l4lb, self.instances, kv_cluster=self.kv_cluster,
             monitor_interval=cfg.monitor_interval,
             down_after=cfg.down_after, up_after=cfg.up_after,
-            rng=self.rng,
+            rng=self.rng, **controller_kwargs,
         )
 
     def _build_instance(self, index: int) -> YodaInstance:
@@ -106,14 +129,19 @@ class YodaService:
             host, self.loop, self.kv_cluster, replicas=cfg.store_replicas,
             op_timeout=cfg.kv_op_timeout, max_retries=cfg.kv_max_retries,
             dead_after_timeouts=cfg.kv_dead_after_timeouts,
+            quarantine=cfg.kv_quarantine,
             rng=self.rng.fork(f"kv/{host.name}"),
             read_repair=cfg.self_healing, hinted_handoff=cfg.self_healing,
         )
         instance = YodaInstance(
             host, self.loop, self.rng, TcpStore(kv),
             cost_model=cfg.cost_model, scan_cost_model=cfg.scan_cost_model,
-            l4lb=self.l4lb,
+            l4lb=self.l4lb, qos_config=cfg.qos,
         )
+        if instance.qos is not None:
+            # store latency feeds the AIMD limiter: kv degradation becomes
+            # SYN-stage backpressure instead of a timeout storm
+            kv.latency_listener = instance.qos.observe_kv
         if cfg.self_healing:
             repairer = FlowStateRepairer(
                 self.loop, kv, instance.durable_records,

@@ -28,6 +28,23 @@ class AddressError(NetworkError):
     """An IP address or endpoint string could not be parsed or allocated."""
 
 
+class SnatExhausted(NetworkError):
+    """No SNAT port range is left to allocate for a VIP.
+
+    Carries the VIP and the instance that asked, so operators (and the
+    overload experiments) can tell *which* service ran out of outbound
+    ports rather than seeing a generic network failure.
+    """
+
+    def __init__(self, vip: str, instance_ip: str):
+        super().__init__(
+            f"SNAT port space exhausted for VIP {vip} "
+            f"(requested by {instance_ip})"
+        )
+        self.vip = vip
+        self.instance_ip = instance_ip
+
+
 class TcpError(ReproError):
     """A TCP endpoint was driven into an invalid operation for its state."""
 

@@ -29,6 +29,7 @@ from repro.net.host import Host
 from repro.net.links import FixedLatency, JitterLatency
 from repro.net.network import Network
 from repro.obs import OBS
+from repro.qos.config import HardeningConfig, QosConfig
 from repro.sim.events import EventLoop
 from repro.sim.random import SeededRng
 from repro.sim.tracing import PacketTrace
@@ -86,6 +87,8 @@ class TestbedConfig:
     kv_max_retries: int = 2
     kv_dead_after_timeouts: int = 3
     kv_self_healing: bool = True  # read-repair + hints + anti-entropy sweeper
+    qos: Optional[QosConfig] = None  # overload-control plane (yoda only)
+    hardening: Optional[HardeningConfig] = None  # bundled hardening knobs
     trace_packets: bool = False
     tls_certificate: object = None  # repro.http.tls.Certificate enables SSL
 
@@ -161,6 +164,8 @@ class Testbed:
                     kv_max_retries=cfg.kv_max_retries,
                     kv_dead_after_timeouts=cfg.kv_dead_after_timeouts,
                     self_healing=cfg.kv_self_healing,
+                    qos=cfg.qos,
+                    hardening=cfg.hardening,
                 ),
             )
             self.yoda.add_service(self.policy, self.backends)

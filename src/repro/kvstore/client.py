@@ -247,6 +247,10 @@ class ReplicatingKvClient:
         self.rng = rng
         self.read_repair = read_repair
         self.hinted_handoff = hinted_handoff
+        # optional tap fed every completed op's KvOpResult -- the qos
+        # plane's adaptive concurrency limiter listens here so store
+        # degradation turns into SYN-stage backpressure
+        self.latency_listener: Optional[Callable[[KvOpResult], None]] = None
         self.metrics = MetricRegistry(f"{host.name}.kv")
         self._req_ids = itertools.count(1)
         self._pending: Dict[int, _PendingOp] = {}
@@ -467,6 +471,8 @@ class ReplicatingKvClient:
             OBS.tracer.end(pending.obs_span, end=pending.result.finished_at,
                            ok=pending.result.ok,
                            replicas=pending.result.replicas_answered)
+        if self.latency_listener is not None:
+            self.latency_listener(pending.result)
         pending.on_done(pending.result)
 
     # -- self-healing: read-repair + hinted handoff ---------------------------

@@ -26,11 +26,18 @@ class _FlowEntry:
 
 
 class _VipEntry:
-    """A mux's view of one VIP: live instances + consistent-hash ring."""
+    """A mux's view of one VIP: live instances + consistent-hash ring.
 
-    def __init__(self, vip: str, instances: List[str], version: int):
+    ``draining`` instances are excluded from the ring (no new SYN hashes
+    onto them) but stay known, so return traffic on their SNAT ranges and
+    pinned established flows keep reaching them until their drain ends.
+    """
+
+    def __init__(self, vip: str, instances: List[str], version: int,
+                 draining: List[str] = ()):
         self.vip = vip
         self.instances = list(instances)
+        self.draining = set(draining)
         self.version = version
         self.ring = HashRing(instances, vnodes=50)
 
@@ -50,12 +57,13 @@ class L4Mux:
         self.dropped = 0
 
     # -- control plane ------------------------------------------------------
-    def apply_mapping(self, vip: str, instances: List[str], version: int) -> None:
+    def apply_mapping(self, vip: str, instances: List[str], version: int,
+                      draining: List[str] = ()) -> None:
         """Install a new instance list for a VIP (idempotent, versioned)."""
         current = self.vips.get(vip)
         if current is not None and current.version >= version:
             return
-        self.vips[vip] = _VipEntry(vip, instances, version)
+        self.vips[vip] = _VipEntry(vip, instances, version, draining)
 
     def remove_vip(self, vip: str) -> None:
         self.vips.pop(vip, None)
@@ -115,7 +123,8 @@ class L4Mux:
             # Return traffic from a backend lands on the SNAT port range
             # of the owning instance.
             owner = self.lb.snat.owner_of(vip, pkt.dst.port)
-            if owner is not None and owner in entry.instances:
+            if owner is not None and (owner in entry.instances
+                                      or owner in entry.draining):
                 instance_ip = owner
 
         if instance_ip is None:

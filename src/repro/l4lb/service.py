@@ -82,6 +82,7 @@ class L4LoadBalancer:
         instance_ips: List[str],
         flush_removed: bool = True,
         immediate: bool = False,
+        draining_ips: Optional[List[str]] = None,
     ) -> None:
         """Install a new VIP -> instances mapping.
 
@@ -93,11 +94,15 @@ class L4LoadBalancer:
                 its established flows break silently).
             immediate: apply to all muxes now (test convenience) instead
                 of with per-mux propagation delays.
+            draining_ips: instances leaving gracefully -- dropped from the
+                hash ring (no new SYNs) but neither flushed nor forgotten,
+                so their established flows finish in place.
         """
         if vip not in self._versions:
             raise NetworkError(f"VIP {vip} is not registered")
+        draining = list(draining_ips or [])
         previous = set(self._authoritative.get(vip, []))
-        removed = previous - set(instance_ips)
+        removed = previous - set(instance_ips) - set(draining)
         self._authoritative[vip] = list(instance_ips)
         self._versions[vip] += 1
         version = self._versions[vip]
@@ -107,18 +112,23 @@ class L4LoadBalancer:
             delay = 0.0 if immediate else self.rng.uniform(0.0, self.mapping_propagation)
             self.loop.call_later(
                 delay, self._apply_to_mux, mux, vip, list(instance_ips), version,
-                sorted(removed) if flush_removed else [],
+                sorted(removed) if flush_removed else [], draining,
             )
 
     def _apply_to_mux(
         self, mux: L4Mux, vip: str, instances: List[str], version: int,
-        flush: List[str],
+        flush: List[str], draining: Optional[List[str]] = None,
     ) -> None:
         if vip not in self._versions:
             return  # VIP was unregistered while this update was in flight
-        mux.apply_mapping(vip, instances, version)
+        mux.apply_mapping(vip, instances, version, draining or [])
         for instance_ip in flush:
             mux.flush_instance(instance_ip)
+
+    def flush_instance(self, instance_ip: str) -> int:
+        """Flush every mux's flow-table pins for one instance (the forced
+        half of a drain: surviving flows must re-hash elsewhere)."""
+        return sum(mux.flush_instance(instance_ip) for mux in self.muxes)
 
     def snat_range(self, vip: str, instance_ip: str):
         """The (lo, hi) SNAT port block an instance may use for a VIP."""

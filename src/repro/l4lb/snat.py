@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
-from repro.errors import NetworkError
+from repro.errors import SnatExhausted
+from repro.obs import OBS
 
 SNAT_BASE_PORT = 1024
 SNAT_RANGE_SIZE = 3000
@@ -27,6 +28,7 @@ class SnatAllocator:
         self.range_size = range_size
         # vip -> instance_ip -> (lo, hi) inclusive-exclusive
         self._ranges: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        self.exhaustions = 0  # failed allocations, for dashboards/tests
 
     def ensure_range(self, vip: str, instance_ip: str) -> Tuple[int, int]:
         """Get (allocating if needed) the port range for an instance."""
@@ -39,7 +41,12 @@ class SnatAllocator:
             lo += self.range_size
         hi = lo + self.range_size
         if hi > SNAT_MAX_PORT:
-            raise NetworkError(f"SNAT port space exhausted for VIP {vip}")
+            self.exhaustions += 1
+            if OBS.enabled:
+                OBS.flight("snat", "exhausted",
+                           f"VIP {vip}: no range left for {instance_ip} "
+                           f"({len(per_vip)} allocated)")
+            raise SnatExhausted(vip, instance_ip)
         per_vip[instance_ip] = (lo, hi)
         return (lo, hi)
 

@@ -1,0 +1,218 @@
+"""Per-backend circuit breakers feeding the selection path.
+
+A :class:`CircuitBreaker` is a pure state machine over a caller-supplied
+clock -- no timers, no randomness -- so an always-closed breaker board is
+invisible to the deterministic packet schedule.  The classic three
+states:
+
+- **CLOSED**: traffic flows; consecutive connect failures (or a connect
+  latency EWMA above threshold) trip it OPEN.
+- **OPEN**: the backend is skipped by selection; after ``open_duration``
+  the next ``allow`` check falls through to HALF_OPEN.
+- **HALF_OPEN**: a bounded number of probe connections are admitted;
+  ``half_open_probes`` successes close the breaker, any failure re-opens
+  it.  If every probe slot is consumed but no verdict arrives within
+  another ``open_duration`` (the probe flow died some other way), the
+  slots are re-issued rather than deadlocking the backend out forever.
+
+The board plugs into ``RuleTable.select`` via :class:`BreakerView`, which
+wraps the controller's health view: a backend is selectable when the
+monitor likes it AND its breaker admits traffic.  Selection's existing
+fail-open second scan (``_FailOpen``) deliberately bypasses the breakers
+too -- when every candidate looks sick, routing somewhere beats resetting
+the client.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import partial
+from typing import Callable, Dict, Optional
+
+from repro.core.selector import BackendView
+from repro.qos.config import QosConfig
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One backend's breaker; all transitions are driven by ``now``."""
+
+    __slots__ = (
+        "failure_threshold", "latency_threshold", "min_latency_samples",
+        "open_duration", "half_open_probes", "ewma_alpha", "state",
+        "latency_ewma", "open_count", "_fail_streak", "_samples",
+        "_opened_at", "_probes_issued", "_probe_successes", "_last_probe_at",
+        "listener",
+    )
+
+    def __init__(self, failure_threshold: int = 5,
+                 latency_threshold: Optional[float] = None,
+                 open_duration: float = 1.0, half_open_probes: int = 2,
+                 min_latency_samples: int = 10, ewma_alpha: float = 0.3,
+                 listener: Optional[Callable[[BreakerState, BreakerState], None]] = None):
+        if failure_threshold < 1 or half_open_probes < 1:
+            raise ValueError("breaker thresholds must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.latency_threshold = latency_threshold
+        self.min_latency_samples = min_latency_samples
+        self.open_duration = open_duration
+        self.half_open_probes = half_open_probes
+        self.ewma_alpha = ewma_alpha
+        self.state = BreakerState.CLOSED
+        self.latency_ewma: Optional[float] = None
+        self.open_count = 0
+        self._fail_streak = 0
+        self._samples = 0
+        self._opened_at = 0.0
+        self._probes_issued = 0
+        self._probe_successes = 0
+        self._last_probe_at = 0.0
+        self.listener = listener
+
+    # ------------------------------------------------------------ transitions --
+    def _transition(self, new: BreakerState, now: float) -> None:
+        old, self.state = self.state, new
+        if new is BreakerState.OPEN:
+            self.open_count += 1
+            self._opened_at = now
+            self._fail_streak = 0
+        elif new is BreakerState.HALF_OPEN:
+            self._probes_issued = 0
+            self._probe_successes = 0
+            self._last_probe_at = now
+        elif new is BreakerState.CLOSED:
+            self._fail_streak = 0
+            self._samples = 0
+            self.latency_ewma = None  # a fresh start after recovery
+        if self.listener is not None and old is not new:
+            self.listener(old, new)
+
+    # ------------------------------------------------------------- feedback --
+    def record_success(self, now: float, latency: Optional[float] = None) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_probes:
+                self._transition(BreakerState.CLOSED, now)
+            return
+        if self.state is BreakerState.OPEN:
+            # a straggler from before the trip; the probe phase decides
+            return
+        self._fail_streak = 0
+        if latency is not None and self.latency_threshold is not None:
+            ewma = self.latency_ewma
+            self.latency_ewma = (latency if ewma is None
+                                 else ewma + self.ewma_alpha * (latency - ewma))
+            self._samples += 1
+            if (self._samples >= self.min_latency_samples
+                    and self.latency_ewma > self.latency_threshold):
+                self._transition(BreakerState.OPEN, now)
+
+    def record_failure(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.OPEN, now)
+            return
+        if self.state is BreakerState.OPEN:
+            return
+        self._fail_streak += 1
+        if self._fail_streak >= self.failure_threshold:
+            self._transition(BreakerState.OPEN, now)
+
+    # -------------------------------------------------------------- queries --
+    def allow(self, now: float) -> bool:
+        """May new traffic be routed to this backend right now?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at >= self.open_duration:
+                self._transition(BreakerState.HALF_OPEN, now)
+                return True
+            return False
+        # HALF_OPEN: admit while probe slots remain; recycle stuck slots
+        if self._probes_issued >= self.half_open_probes:
+            if now - self._last_probe_at >= self.open_duration:
+                self._probes_issued = self._probe_successes
+                return True
+            return False
+        return True
+
+    def on_probe_sent(self, now: float) -> None:
+        """Selection routed a probe here while half-open."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_issued += 1
+            self._last_probe_at = now
+
+
+class BreakerBoard:
+    """All of one instance's breakers, created lazily per backend."""
+
+    def __init__(self, config: QosConfig,
+                 on_transition: Optional[Callable[[str, BreakerState, BreakerState], None]] = None):
+        self.config = config
+        self.on_transition = on_transition
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, backend: str) -> CircuitBreaker:
+        brk = self._breakers.get(backend)
+        if brk is None:
+            cfg = self.config
+            listener = None
+            if self.on_transition is not None:
+                listener = partial(self.on_transition, backend)
+            brk = self._breakers[backend] = CircuitBreaker(
+                failure_threshold=cfg.breaker_failure_threshold,
+                latency_threshold=cfg.breaker_latency_threshold,
+                open_duration=cfg.breaker_open_duration,
+                half_open_probes=cfg.breaker_half_open_probes,
+                min_latency_samples=cfg.breaker_min_latency_samples,
+                listener=listener,
+            )
+        return brk
+
+    def record_success(self, backend: str, now: float,
+                       latency: Optional[float] = None) -> None:
+        self.breaker(backend).record_success(now, latency)
+
+    def record_failure(self, backend: str, now: float) -> None:
+        self.breaker(backend).record_failure(now)
+
+    def allow(self, backend: str, now: float) -> bool:
+        brk = self._breakers.get(backend)
+        return True if brk is None else brk.allow(now)
+
+    def on_selected(self, backend: str, now: float) -> None:
+        brk = self._breakers.get(backend)
+        if brk is not None:
+            brk.on_probe_sent(now)
+
+    def open_backends(self) -> list:
+        return sorted(b for b, brk in self._breakers.items()
+                      if brk.state is not BreakerState.CLOSED)
+
+
+class BreakerView:
+    """A BackendView that also consults the breaker board.
+
+    ``on_selected`` is the optional hook ``RuleTable.select`` calls after
+    a successful pick; it is what meters half-open probe slots.
+    """
+
+    def __init__(self, inner: BackendView, board: BreakerBoard,
+                 clock: Callable[[], float]):
+        self._inner = inner
+        self._board = board
+        self._clock = clock
+
+    def is_healthy(self, backend: str) -> bool:
+        return (self._inner.is_healthy(backend)
+                and self._board.allow(backend, self._clock()))
+
+    def load(self, backend: str) -> float:
+        return self._inner.load(backend)
+
+    def on_selected(self, backend: str) -> None:
+        self._board.on_selected(backend, self._clock())

@@ -1,0 +1,91 @@
+"""Configuration for the overload-control plane.
+
+Two dataclasses, both pure data:
+
+- :class:`QosConfig` sizes the qos mechanisms themselves (admission
+  buckets, shedding tiers, circuit breakers, AIMD concurrency limits,
+  drain deadlines).  The defaults are **armed but neutral**: every
+  mechanism is constructed and consulted on the hot path, yet none of
+  them can trip under a workload that stays inside capacity -- which is
+  what lets the golden-trace suite assert bit-identical packet schedules
+  with qos constructed but never triggered.
+- :class:`HardeningConfig` gathers the hardening constants that were
+  previously scattered across the controller (health-probe hysteresis)
+  and the KV client (retry backoff / consecutive-timeout thresholds), so
+  experiments and ablations can sweep them as one object.  Defaults equal
+  the historical constants exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class QosConfig:
+    """Knobs for admission, shedding, breakers, backpressure and drain."""
+
+    # -- per-VIP token-bucket admission (new connections per second, per
+    # instance).  None disables rate-based shedding entirely: every SYN
+    # is admitted without drawing a token.
+    admission_rate: Optional[float] = None
+    admission_burst: float = 50.0
+    # Priority tiers, lowest index = highest priority.  ``tier_floors[k]``
+    # is the bucket fill fraction below which tier k is shed; tier 0's
+    # floor should stay 0.0 so top-priority traffic is only refused when
+    # the bucket is truly empty.  Lower tiers are shed first because their
+    # floors are higher -- the bucket drains *through* them.
+    tier_floors: Tuple[float, ...] = (0.0, 0.35, 0.7)
+    # Client IP prefix -> tier assignments, e.g. (("172.16.9.", 2),).
+    # First matching prefix wins; unmatched clients are tier 0.
+    client_tiers: Tuple[Tuple[str, int], ...] = ()
+
+    # -- per-backend circuit breakers
+    breaker_enabled: bool = True
+    breaker_failure_threshold: int = 5  # consecutive failures to open
+    # EWMA of backend connect latency that trips the breaker; None
+    # disables the latency criterion (failures still count).
+    breaker_latency_threshold: Optional[float] = None
+    breaker_min_latency_samples: int = 10
+    breaker_open_duration: float = 1.0  # seconds open before probing
+    breaker_half_open_probes: int = 2  # probe successes needed to close
+
+    # -- adaptive concurrency (AIMD on observed TCPStore latency):
+    # bounds connection-phase flows in flight, shrinking multiplicatively
+    # when storage ops run slow or fail and growing additively while they
+    # behave.  latency_target None disables the latency-driven decrease,
+    # leaving only the (generous) static ceiling.
+    limiter_enabled: bool = True
+    limiter_initial: int = 512
+    limiter_min: int = 8
+    limiter_max: int = 4096
+    limiter_latency_target: Optional[float] = None
+    limiter_backoff: float = 0.5  # multiplicative decrease factor
+    limiter_increase: float = 1.0  # additive increase per success window
+    limiter_cooldown: float = 0.5  # min seconds between decreases
+
+    # -- graceful drain (make-before-break scale-in)
+    drain_deadline: float = 10.0  # force TCPStore handoff after this long
+    drain_check_interval: float = 0.25
+
+
+@dataclass
+class HardeningConfig:
+    """The scattered hardening constants, liftable as one unit.
+
+    Every default matches the value previously hard-coded at its use
+    site, so constructing a ``HardeningConfig()`` and applying it is a
+    no-op -- ablations override individual fields.
+    """
+
+    # controller health monitoring (core/controller.py)
+    monitor_interval: float = 0.6
+    down_after: int = 2  # consecutive failed probes before marking down
+    up_after: int = 2  # consecutive good probes before marking up
+
+    # KV client retry/timeout behaviour (kvstore/client.py)
+    kv_op_timeout: float = 0.1
+    kv_max_retries: int = 2
+    kv_dead_after_timeouts: int = 3
+    kv_quarantine: float = 1.0

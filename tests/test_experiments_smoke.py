@@ -4,7 +4,18 @@ in benchmarks/."""
 
 import pytest
 
-from repro.experiments import fig6, fig9, fig10, fig12, fig13, fig14, fig15, fig16, table1
+from repro.experiments import (
+    fig6,
+    fig9,
+    fig10,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig_overload,
+    table1,
+)
 
 
 def test_fig6_smoke():
@@ -77,6 +88,18 @@ def test_fig16_smoke():
     assert len(result.rows) == 3
     assert result.summary["limit_migrated_median_pct"] <= \
         result.summary["nolimit_migrated_median_pct"] + 1e-9
+
+
+def test_fig_overload_smoke():
+    result = fig_overload.run_ablation(quick=True)
+    assert result.summary["contrast"] == "holds"
+    assert result.summary["goodput_ratio_qos"] >= 0.9
+    assert result.summary["goodput_ratio_no_qos"] < \
+        result.summary["goodput_ratio_qos"]
+    assert result.summary["drain_failures_qos"] == 0
+    by_variant = {r["variant"]: r for r in result.rows}
+    assert by_variant["qos"]["syns_shed"] > 0
+    assert by_variant["no-qos"]["syns_shed"] == 0
 
 
 def test_table1_single_site_smoke():

@@ -1,0 +1,221 @@
+"""Pure unit suite for the circuit-breaker state machine.
+
+No event loop, no testbed: every transition is driven by an explicit
+``now`` argument, which is exactly what makes the breaker safe to sit on
+the packet fast path.
+"""
+
+import pytest
+
+from repro.qos.breaker import BreakerBoard, BreakerState, BreakerView, CircuitBreaker
+from repro.qos.config import QosConfig
+
+
+def make(**kw):
+    defaults = dict(failure_threshold=3, open_duration=1.0, half_open_probes=2)
+    defaults.update(kw)
+    return CircuitBreaker(**defaults)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        brk = make()
+        assert brk.state is BreakerState.CLOSED
+        assert brk.allow(0.0)
+
+    def test_failures_below_threshold_stay_closed(self):
+        brk = make()
+        brk.record_failure(0.1)
+        brk.record_failure(0.2)
+        assert brk.state is BreakerState.CLOSED
+        assert brk.allow(0.3)
+
+    def test_threshold_failures_trip_open(self):
+        brk = make()
+        for t in (0.1, 0.2, 0.3):
+            brk.record_failure(t)
+        assert brk.state is BreakerState.OPEN
+        assert not brk.allow(0.4)
+        assert brk.open_count == 1
+
+    def test_success_resets_the_failure_streak(self):
+        brk = make()
+        brk.record_failure(0.1)
+        brk.record_failure(0.2)
+        brk.record_success(0.3)
+        brk.record_failure(0.4)
+        brk.record_failure(0.5)
+        assert brk.state is BreakerState.CLOSED
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestLatencyTrip:
+    def test_slow_ewma_trips_after_min_samples(self):
+        brk = make(latency_threshold=0.05, min_latency_samples=5)
+        for i in range(5):
+            brk.record_success(0.1 * i, latency=0.2)
+        assert brk.state is BreakerState.OPEN
+
+    def test_no_trip_below_min_samples(self):
+        brk = make(latency_threshold=0.05, min_latency_samples=5)
+        for i in range(4):
+            brk.record_success(0.1 * i, latency=0.2)
+        assert brk.state is BreakerState.CLOSED
+
+    def test_fast_latencies_never_trip(self):
+        brk = make(latency_threshold=0.05, min_latency_samples=3)
+        for i in range(50):
+            brk.record_success(0.1 * i, latency=0.01)
+        assert brk.state is BreakerState.CLOSED
+
+    def test_ewma_resets_on_close(self):
+        brk = make(latency_threshold=0.05, min_latency_samples=2)
+        brk.record_success(0.0, latency=0.2)
+        brk.record_success(0.1, latency=0.2)
+        assert brk.state is BreakerState.OPEN
+        assert brk.allow(1.2)  # -> HALF_OPEN
+        brk.record_success(1.3)
+        brk.record_success(1.4)
+        assert brk.state is BreakerState.CLOSED
+        assert brk.latency_ewma is None
+
+
+class TestOpenAndHalfOpen:
+    def tripped(self):
+        brk = make()
+        for t in (0.1, 0.2, 0.3):
+            brk.record_failure(t)
+        return brk
+
+    def test_open_blocks_until_duration_elapses(self):
+        brk = self.tripped()
+        assert not brk.allow(0.9)
+        assert brk.state is BreakerState.OPEN
+        assert brk.allow(1.3)  # 0.3 + 1.0
+        assert brk.state is BreakerState.HALF_OPEN
+
+    def test_straggler_success_while_open_is_ignored(self):
+        brk = self.tripped()
+        brk.record_success(0.5)
+        assert brk.state is BreakerState.OPEN
+
+    def test_probe_slots_are_metered(self):
+        brk = self.tripped()
+        assert brk.allow(1.3)
+        brk.on_probe_sent(1.3)
+        assert brk.allow(1.35)
+        brk.on_probe_sent(1.35)
+        assert not brk.allow(1.4)  # both slots out, no verdict yet
+
+    def test_probe_successes_close(self):
+        brk = self.tripped()
+        brk.allow(1.3)
+        brk.record_success(1.5)
+        assert brk.state is BreakerState.HALF_OPEN
+        brk.record_success(1.6)
+        assert brk.state is BreakerState.CLOSED
+        assert brk.allow(1.7)
+
+    def test_probe_failure_reopens(self):
+        brk = self.tripped()
+        brk.allow(1.3)
+        brk.record_failure(1.5)
+        assert brk.state is BreakerState.OPEN
+        assert brk.open_count == 2
+        assert not brk.allow(1.6)
+
+    def test_stuck_probe_slots_recycle(self):
+        brk = self.tripped()
+        brk.allow(1.3)
+        brk.on_probe_sent(1.3)
+        brk.on_probe_sent(1.35)
+        assert not brk.allow(1.4)
+        # probe flows died without a verdict; after another open_duration
+        # the slots are reissued instead of fencing the backend forever
+        assert brk.allow(2.4)
+        assert brk.state is BreakerState.HALF_OPEN
+
+    def test_listener_sees_every_transition(self):
+        seen = []
+        brk = make(listener=lambda old, new: seen.append((old, new)))
+        for t in (0.1, 0.2, 0.3):
+            brk.record_failure(t)
+        brk.allow(1.3)
+        brk.record_success(1.4)
+        brk.record_success(1.5)
+        assert seen == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+
+
+class TestBoard:
+    def config(self):
+        return QosConfig(breaker_failure_threshold=2,
+                         breaker_open_duration=1.0)
+
+    def test_unknown_backend_allows(self):
+        board = BreakerBoard(self.config())
+        assert board.allow("srv-0", 0.0)
+
+    def test_per_backend_isolation(self):
+        board = BreakerBoard(self.config())
+        board.record_failure("srv-0", 0.1)
+        board.record_failure("srv-0", 0.2)
+        assert not board.allow("srv-0", 0.3)
+        assert board.allow("srv-1", 0.3)
+        assert board.open_backends() == ["srv-0"]
+
+    def test_transition_callback_names_the_backend(self):
+        seen = []
+        board = BreakerBoard(self.config(),
+                             on_transition=lambda b, old, new: seen.append(b))
+        board.record_failure("srv-2", 0.1)
+        board.record_failure("srv-2", 0.2)
+        assert seen == ["srv-2"]
+
+
+class _StaticView:
+    def __init__(self, healthy=True):
+        self.healthy = healthy
+
+    def is_healthy(self, backend):
+        return self.healthy
+
+    def load(self, backend):
+        return 0.25
+
+
+class TestView:
+    def test_healthy_requires_monitor_and_breaker(self):
+        board = BreakerBoard(QosConfig(breaker_failure_threshold=1))
+        view = BreakerView(_StaticView(), board, clock=lambda: 5.0)
+        assert view.is_healthy("srv-0")
+        board.record_failure("srv-0", 5.0)
+        assert not view.is_healthy("srv-0")
+        assert view.is_healthy("srv-1")
+
+    def test_monitor_veto_wins(self):
+        board = BreakerBoard(QosConfig())
+        view = BreakerView(_StaticView(healthy=False), board,
+                           clock=lambda: 0.0)
+        assert not view.is_healthy("srv-0")
+
+    def test_load_passthrough_and_probe_metering(self):
+        board = BreakerBoard(QosConfig(breaker_failure_threshold=1,
+                                       breaker_half_open_probes=1,
+                                       breaker_open_duration=0.5))
+        now = {"t": 0.0}
+        view = BreakerView(_StaticView(), board, clock=lambda: now["t"])
+        assert view.load("srv-0") == 0.25
+        board.record_failure("srv-0", 0.0)
+        now["t"] = 0.6
+        assert view.is_healthy("srv-0")  # half-open probe admitted
+        view.on_selected("srv-0")
+        assert not view.is_healthy("srv-0")  # probe slot consumed
