@@ -34,7 +34,7 @@ class FaultSpec:
     ``duration`` makes the fault auto-revert (heal, recover, speed up)."""
 
     # partition|loss|duplicate|latency|crash|flap|slow_cpu|probe_loss|
-    # surge|drain
+    # surge|drain|region_kill
     kind: str
     at: float
     duration: Optional[float] = None
@@ -128,6 +128,21 @@ def drain(at: float, target: str,
     """Graceful scale-in: ask the controller to drain an LB instance
     (make-before-break).  Vacuous on HAProxy beds."""
     return FaultSpec(kind="drain", at=at, target=target, deadline=deadline)
+
+
+def region_kill(at: float, site: str) -> FaultSpec:
+    """Kill an entire region: every host in ``site`` -- LB instances,
+    stores, backends, routers -- dies at once, permanently.  The dead
+    region never comes back; recovery means failing over to the standby."""
+    return FaultSpec(kind="region_kill", at=at, target=site)
+
+
+def wan_partition(at: float, a: str, b: str,
+                  duration: Optional[float] = None) -> FaultSpec:
+    """Sever the WAN between two sites.  Both sides stay up and keep
+    serving their local traffic; only cross-site packets (flow-store
+    replication, inter-region probes) vanish."""
+    return FaultSpec(kind="partition", at=at, src=a, dst=b, duration=duration)
 
 
 # -- target resolution --------------------------------------------------------
@@ -257,6 +272,20 @@ def apply_fault(bed, spec: FaultSpec) -> AppliedFault:
         gen.start()
         surge_clients.append(gen)
         return AppliedFault(spec, revert=gen.stop, target_name=host.name)
+    if spec.kind == "region_kill":
+        site = spec.target
+        # fail LB instances through their own fail() (cancels timers and
+        # freezes SNAT bookkeeping), then every remaining host in the site
+        if bed.yoda is not None:
+            pools = list(bed.yoda.instances) + list(bed.yoda.standby_instances)
+            for instance in pools:
+                if instance.host.site == site and not instance.host.failed:
+                    instance.fail()
+        for host in list(net.hosts()):
+            if host.site == site and not host.failed:
+                host.fail()
+        # permanent: a dead region stays dead (revert=None)
+        return AppliedFault(spec, target_name=site)
     if spec.kind == "drain":
         if bed.yoda is None:
             return AppliedFault(spec)  # HAProxy scale-in just drops flows

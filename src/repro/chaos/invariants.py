@@ -234,8 +234,11 @@ class InvariantMonitor:
     # ------------------------------------------------------------- helpers --
     def _stored_somewhere(self, key: str) -> bool:
         """Omniscient peek: is the key durable on any store whose VM is
-        up?  (A partitioned-but-running store still holds its data.)"""
-        for server in self.bed.yoda.store_servers:
+        up?  (A partitioned-but-running store still holds its data.)
+        Both regions count: after a failover the standby stores are the
+        live copies."""
+        yoda = self.bed.yoda
+        for server in list(yoda.store_servers) + list(yoda.standby_store_servers):
             if not server.host.failed and server.peek(key) is not None:
                 return True
         return False
@@ -283,7 +286,8 @@ class InvariantMonitor:
                     )
         if self.check_storage:
             excluded = set(exclude_instances)
-            for instance in self.bed.yoda.instances:
+            for instance in (list(self.bed.yoda.instances)
+                             + list(self.bed.yoda.standby_instances)):
                 if instance.host.failed or instance.name in excluded:
                     continue
                 self.checks["snat-leak"] += 1
@@ -471,12 +475,15 @@ class ReplicationFactorMonitor:
     def _tick(self) -> None:
         yoda = self.bed.yoda
         now = self.bed.loop.now()
-        live_stores = [s for s in yoda.store_servers if not s.host.failed]
+        # a record is durable wherever it lives -- after a region failover
+        # that is the standby site's stores, not the (dead) primary's
+        all_stores = list(yoda.store_servers) + list(yoda.standby_store_servers)
+        live_stores = [s for s in all_stores if not s.host.failed]
         need = min(yoda.config.store_replicas, len(live_stores))
         if need == 0:
             return
         sampled = set()
-        for instance in yoda.instances:
+        for instance in list(yoda.instances) + list(yoda.standby_instances):
             if instance.host.failed:
                 continue
             for key, _payload, version in instance.durable_records():
@@ -518,4 +525,75 @@ class ReplicationFactorMonitor:
             checked=self.checks,
             violations=list(self.violations),
             violation_count=self.violation_count,
+        )
+
+
+class EstablishedFlowsSurviveRegionFailover:
+    """The multi-region headline guarantee: a long-lived flow that was
+    established (response headers delivered) before the region kill must
+    still run to completion -- served out of the standby region from the
+    replicated flow state.  Streams that never established before the
+    kill are exempt (refusing or retrying a not-yet-accepted request is
+    legal); streams started after the kill are ordinary new connections
+    and are audited by the other invariants.
+
+    With replication disabled the standby stores hold nothing, recovery
+    finds no record, and every established stream breaks -- the ablation
+    violates this invariant deterministically.
+    """
+
+    invariant = "established-flows-survive-region-failover"
+
+    def finalize(self, clients, kill_time: Optional[float]) -> Verdict:
+        checks = 0
+        violations: List[Violation] = []
+        if kill_time is not None:
+            for client in clients:
+                r = client.result
+                if r.established_at is None or r.established_at >= kill_time:
+                    continue
+                checks += 1
+                if not r.complete:
+                    violations.append(Violation(
+                        self.invariant, r.finished_at or kill_time, r.path,
+                        f"stream established at {r.established_at:.3f}s "
+                        f"(kill at {kill_time:.3f}s) broke: "
+                        f"{r.bytes_received}/{r.bytes_expected} bytes, "
+                        f"error={r.error}",
+                        forensics=_forensics_tail(),
+                    ))
+        return Verdict(
+            invariant=self.invariant,
+            ok=not violations,
+            checked=checks,
+            violations=violations[:MAX_VIOLATIONS_KEPT],
+            violation_count=len(violations),
+        )
+
+
+class NoSplitBrainPromotion:
+    """A WAN partition must never masquerade as a region death: the
+    controller may promote the standby region only when the primary is
+    actually gone (a region-kill fault fired).  Promotion during a mere
+    partition would put two live regions behind one VIP -- split brain."""
+
+    invariant = "no-split-brain-promotion"
+
+    def finalize(self, controller, region_killed: bool) -> Verdict:
+        violations: List[Violation] = []
+        failed_over = bool(getattr(controller, "failed_over", False))
+        if failed_over and not region_killed:
+            violations.append(Violation(
+                self.invariant, getattr(controller, "failover_at", 0.0) or 0.0,
+                "controller",
+                "standby region promoted but no region-kill fault fired "
+                "(WAN partition or gray failure misread as region death)",
+                forensics=_forensics_tail(),
+            ))
+        return Verdict(
+            invariant=self.invariant,
+            ok=not violations,
+            checked=1,
+            violations=violations,
+            violation_count=len(violations),
         )

@@ -22,8 +22,10 @@ from repro.chaos.faults import (
     loss,
     partition,
     probe_loss,
+    region_kill,
     slow_cpu,
     surge,
+    wan_partition,
 )
 from repro.chaos.scenario import Scenario
 from repro.qos.config import QosConfig
@@ -219,6 +221,70 @@ _register(Scenario(
         tier_floors=(0.0, 0.0, 0.6),
         client_tiers=(("172.16.9.", 2),),
     ),
+))
+
+
+_register(Scenario(
+    name="region-kill",
+    description=(
+        "The whole primary region dies at once -- instances, stores, "
+        "backends, L4 router, the replication relay itself.  Long-lived "
+        "streaming downloads are mid-transfer at the kill; the controller "
+        "must detect the region death, promote the standby store cluster, "
+        "re-anchor the VIP at the standby L4 LB, and the standby "
+        "instances must resume every established stream from the "
+        "replicated flow state (re-serving from a standby backend and "
+        "suppressing the bytes the client already acknowledged).  The "
+        "--no-replication ablation breaks every established stream "
+        "deterministically."
+    ),
+    faults=[
+        region_kill(3.0, "dc"),
+    ],
+    clients=0,  # page clients cannot outlive their region; streams can
+    streams=6,
+    duration=12.0,
+    drain=10.0,
+    standby_site="dc2",
+))
+
+_register(Scenario(
+    name="wan-partition",
+    description=(
+        "The WAN between the regions is severed for 5 s while a serving "
+        "instance crashes inside the primary.  Replication backlogs and "
+        "catches up after the heal; the controller must NOT promote the "
+        "standby (its omniscient probes still see the primary alive) -- "
+        "promotion here would be split brain.  In-region recovery of the "
+        "crashed instance's flows proceeds exactly as single-site."
+    ),
+    faults=[
+        wan_partition(2.0, "dc", "dc2", duration=5.0),
+        crash(3.0, "lb:serving"),
+    ],
+    streams=4,
+    standby_site="dc2",
+    drain=10.0,
+))
+
+_register(Scenario(
+    name="region-gray-failure",
+    description=(
+        "Partial-site gray failure: one primary instance and one primary "
+        "store replica die, and the WAN doubles in latency -- but the "
+        "region as a whole is alive.  The controller must treat this as "
+        "ordinary single-site attrition (in-region recovery, ring "
+        "shrink), never as a region death; streams ride through on "
+        "surviving primary capacity."
+    ),
+    faults=[
+        crash(2.0, "store:0", duration=6.0),
+        latency_spike(2.0, 0.040, "dc", "dc2", duration=6.0),
+        crash(3.5, "lb:serving"),
+    ],
+    streams=4,
+    standby_site="dc2",
+    drain=10.0,
 ))
 
 

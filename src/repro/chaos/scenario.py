@@ -23,8 +23,10 @@ from typing import Dict, List, Optional
 
 from repro.chaos.faults import AppliedFault, FaultSpec, apply_fault
 from repro.chaos.invariants import (
+    EstablishedFlowsSurviveRegionFailover,
     InvariantMonitor,
     NoAcceptedRequestDropped,
+    NoSplitBrainPromotion,
     ReplicationFactorMonitor,
     Verdict,
 )
@@ -50,6 +52,17 @@ class Scenario:
     num_store_servers: int = 3
     num_backends: int = 3
     qos_config: Optional[QosConfig] = None  # overload-control plane (yoda)
+    # -- multi-region (None = the historical single-site scenario) --
+    standby_site: Optional[str] = None  # e.g. "dc2": build a second region
+    replication: bool = True  # cross-site flow-store shipping (ablation)
+    # long-lived streaming downloads riding alongside the page workload;
+    # the region-failover invariant audits the ones established pre-kill
+    streams: int = 0
+    stream_chunks: int = 60
+    stream_chunk_bytes: int = 1_000
+    stream_interval_ms: int = 100
+    stream_stall_timeout: float = 1.0
+    stream_max_stalls: int = 8  # probes before a stream gives up
 
     def timeline(self) -> List[str]:
         return [spec.describe() for spec in sorted(self.faults, key=lambda s: s.at)]
@@ -68,6 +81,11 @@ class ScenarioOutcome:
     trace_digest: str
     applied: List[str] = field(default_factory=list)  # resolved fault targets
     repair: bool = True  # store self-healing enabled for this run
+    replication: bool = True  # cross-site shipping enabled for this run
+    streams_completed: int = 0
+    streams_broken: int = 0
+    failed_over: bool = False  # controller promoted the standby region
+    records_lost: int = 0  # store records that never reached the standby
 
     @property
     def invariants_ok(self) -> bool:
@@ -80,15 +98,25 @@ class ScenarioOutcome:
     @property
     def ok(self) -> bool:
         """Zero invariant violations AND zero client-visible breakage."""
-        return self.invariants_ok and self.broken_pages == 0 and self.pages_loaded > 0
+        served = self.pages_loaded + self.streams_completed > 0
+        return (self.invariants_ok and self.broken_pages == 0
+                and self.streams_broken == 0 and served)
 
     def render(self) -> str:
         lines = [
             f"scenario {self.scenario} [{self.lb}] seed={self.seed}"
-            f"{'' if self.repair else ' (repair OFF)'}: "
+            f"{'' if self.repair else ' (repair OFF)'}"
+            f"{'' if self.replication else ' (replication OFF)'}: "
             f"{'PASS' if self.ok else 'BROKEN'}",
             f"  pages: {self.pages_loaded} loaded, {self.broken_pages} broken",
         ]
+        if self.streams_completed or self.streams_broken:
+            lines.append(
+                f"  streams: {self.streams_completed} completed, "
+                f"{self.streams_broken} broken"
+                + (f"; failed over, {self.records_lost} records lost"
+                   if self.failed_over else "")
+            )
         for verdict in self.verdicts:
             lines.append(f"  {verdict}")
             for violation in verdict.violations[:3]:
@@ -101,11 +129,16 @@ class ScenarioEngine:
     """Run one scenario against one LB implementation."""
 
     def __init__(self, scenario: Scenario, lb: str = "yoda", seed: int = 2016,
-                 repair: bool = True, taps: Optional[List] = None):
+                 repair: bool = True, replication: Optional[bool] = None,
+                 taps: Optional[List] = None):
         self.scenario = scenario
         self.lb = lb
         self.seed = seed
         self.repair = repair
+        # None = the scenario's own setting; False = the cross-site
+        # replication ablation (--no-replication)
+        self.replication = (scenario.replication if replication is None
+                            else replication)
         # extra packet-trace taps (objects with a ``record(rec)`` method)
         # attached alongside the invariant monitor -- the golden-trace
         # suite uses this to capture the full packet schedule
@@ -115,6 +148,8 @@ class ScenarioEngine:
         self.monitor: Optional[InvariantMonitor] = None
         self.rf_monitor: Optional[ReplicationFactorMonitor] = None
         self.nar_monitor: Optional[NoAcceptedRequestDropped] = None
+        self.fleet = None  # StreamingFleet when the scenario has streams
+        self._region_kill_time: Optional[float] = None
 
     def build(self) -> Testbed:
         s = self.scenario
@@ -130,6 +165,8 @@ class ScenarioEngine:
             flat_object_count=s.object_count,
             kv_self_healing=self.repair,
             qos=s.qos_config if self.lb == "yoda" else None,
+            standby_site=s.standby_site,
+            replication=self.replication,
         ))
         self.monitor = InvariantMonitor(self.bed)
         self.bed.network.add_trace(self.monitor)
@@ -150,6 +187,14 @@ class ScenarioEngine:
         bed = self.build()
         s = self.scenario
         processes = bed.closed_loop(s.clients, http_timeout=s.http_timeout)
+        if s.streams > 0:
+            self.fleet = bed.streaming(
+                s.streams, chunks=s.stream_chunks,
+                chunk_bytes=s.stream_chunk_bytes,
+                interval_ms=s.stream_interval_ms, start_at=0.2,
+                stall_timeout=s.stream_stall_timeout,
+                max_stalls=s.stream_max_stalls,
+            )
         for spec in s.faults:
             bed.loop.call_later(spec.at, self._fire, spec)
         bed.run(s.duration)
@@ -165,6 +210,13 @@ class ScenarioEngine:
         verdicts.append(self.nar_monitor.finalize(strict_before=load_end))
         if self.rf_monitor is not None:
             verdicts.append(self.rf_monitor.finalize())
+        if self.fleet is not None:
+            verdicts.append(EstablishedFlowsSurviveRegionFailover().finalize(
+                self.fleet.clients, self._region_kill_time))
+        controller = bed.yoda.controller if bed.yoda is not None else None
+        if s.standby_site is not None and controller is not None:
+            verdicts.append(NoSplitBrainPromotion().finalize(
+                controller, region_killed=self._region_kill_time is not None))
         return ScenarioOutcome(
             scenario=s.name,
             lb=self.lb,
@@ -178,11 +230,21 @@ class ScenarioEngine:
                 if a.target_name
             ],
             repair=self.repair,
+            replication=self.replication,
+            streams_completed=(self.fleet.completed()
+                               if self.fleet is not None else 0),
+            streams_broken=(self.fleet.broken() + self.fleet.unfinished()
+                            if self.fleet is not None else 0),
+            failed_over=bool(getattr(controller, "failed_over", False)),
+            records_lost=int(
+                getattr(controller, "failover_records_lost", 0) or 0),
         )
 
     def _fire(self, spec: FaultSpec) -> None:
         applied = apply_fault(self.bed, spec)
         self.applied.append(applied)
+        if spec.kind == "region_kill":
+            self._region_kill_time = self.bed.loop.now()
         if spec.duration is not None and applied.revert is not None:
             revert, applied.revert = applied.revert, None
             self.bed.loop.call_later(spec.duration, revert)
@@ -201,14 +263,18 @@ class ScenarioEngine:
 
 
 def run_scenario(scenario: Scenario, lb: str = "yoda",
-                 seed: int = 2016, repair: bool = True) -> ScenarioOutcome:
-    return ScenarioEngine(scenario, lb=lb, seed=seed, repair=repair).run()
+                 seed: int = 2016, repair: bool = True,
+                 replication: Optional[bool] = None) -> ScenarioOutcome:
+    return ScenarioEngine(scenario, lb=lb, seed=seed, repair=repair,
+                          replication=replication).run()
 
 
 def run_contrast(scenario: Scenario, seed: int = 2016,
                  repair: bool = True) -> Dict[str, ScenarioOutcome]:
-    """The Figure 12 contrast: same schedule, both LB tiers."""
-    return {
-        "yoda": run_scenario(scenario, lb="yoda", seed=seed, repair=repair),
-        "haproxy": run_scenario(scenario, lb="haproxy", seed=seed),
-    }
+    """The Figure 12 contrast: same schedule, both LB tiers.  Multi-region
+    scenarios are YODA-only (HAProxy keeps no external flow state to
+    replicate), so those skip the baseline leg."""
+    out = {"yoda": run_scenario(scenario, lb="yoda", seed=seed, repair=repair)}
+    if scenario.standby_site is None:
+        out["haproxy"] = run_scenario(scenario, lb="haproxy", seed=seed)
+    return out

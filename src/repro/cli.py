@@ -34,6 +34,7 @@ from repro.experiments import (
     fig14,
     fig15,
     fig16,
+    fig_failover,
     fig_overload,
     table1,
 )
@@ -94,6 +95,11 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         lambda seed: fig_overload.run_ablation(seed=seed),
         lambda seed: fig_overload.run_ablation(seed=seed, quick=True),
     ),
+    "failover": (
+        "multi-region failover: stream survival vs replication lag",
+        lambda seed: fig_failover.run(seed=seed),
+        lambda seed: fig_failover.run_quick(seed=seed),
+    ),
     "fig14": (
         "make-before-break policy updates",
         lambda seed: fig14.run(seed=seed),
@@ -137,6 +143,10 @@ def main(argv=None) -> int:
                         help="disable store self-healing (read-repair, "
                              "hinted handoff, anti-entropy) -- the "
                              "durability ablation")
+    chaosp.add_argument("--no-replication", action="store_true",
+                        help="disable cross-site flow-store replication -- "
+                             "the multi-region ablation (established "
+                             "flows cannot survive a region kill)")
     obsp = sub.add_parser(
         "obs", help="run a short traced workload (with a mid-run LB crash) "
                     "and emit the observability report")
@@ -240,9 +250,13 @@ def _run_chaos(args) -> int:
             return 2
         started = time.perf_counter()
         repair = not args.no_repair
-        if args.no_baseline:
+        replication = False if args.no_replication else None
+        if args.no_baseline or args.no_replication:
+            # the replication ablation is a YODA-only knob; contrasting
+            # it against HAProxy would compare different deployments
             outcomes = {"yoda": run_scenario(scenario, lb="yoda",
-                                             seed=args.seed, repair=repair)}
+                                             seed=args.seed, repair=repair,
+                                             replication=replication)}
         else:
             outcomes = run_contrast(scenario, seed=args.seed, repair=repair)
         elapsed = time.perf_counter() - started

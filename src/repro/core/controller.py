@@ -24,6 +24,7 @@ from repro.core.policy import VipPolicy
 from repro.errors import ControllerError
 from repro.http.server import BackendHttpServer
 from repro.kvstore.client import MemcachedCluster
+from repro.kvstore.sitesync import SiteReplicator
 from repro.l4lb.service import L4LoadBalancer
 from repro.obs import OBS
 from repro.qos.drain import DrainCoordinator, DrainState, DrainStatus
@@ -101,6 +102,22 @@ class ControllerHealthView:
 
 
 @dataclass
+class StandbyRegion:
+    """A fully built but idle secondary region, registered for failover.
+
+    The standby's instances serve no VIP and its store cluster holds only
+    asynchronously replicated copies until :meth:`YodaController._fail_over_region`
+    promotes it.
+    """
+
+    site: str
+    l4lb: L4LoadBalancer
+    instances: List[YodaInstance]
+    kv_cluster: Optional[MemcachedCluster] = None
+    replicator: Optional[SiteReplicator] = None
+
+
+@dataclass
 class AutoscaleConfig:
     """Scale-out policy for Figure 13."""
 
@@ -156,6 +173,12 @@ class YodaController:
         # keep bit-identical schedules with or without the parameter.
         self.probe_loss_rate = 0.0
         self._probe_rng = (rng or SeededRng(0)).fork("probes")
+        # multi-region: a registered (idle) secondary region, and whether
+        # the one-shot promotion has happened
+        self._standby: Optional[StandbyRegion] = None
+        self.failed_over = False
+        self.failover_at: Optional[float] = None
+        self.failover_records_lost = 0
 
         if self.kv_cluster is not None:
             # account every store-membership transition (epoch bumps feed
@@ -426,24 +449,117 @@ class YodaController:
         # mark_live respects client-imposed quarantines, so the monitor
         # cannot re-admit a server the data path just proved unresponsive.
         if self.kv_cluster is not None:
-            for name, server in list(self.kv_cluster.servers.items()):
-                ok = self._kv_health.observe(name, self._probe(server.host))
-                if not ok and name in self.kv_cluster.ring:
-                    self.kv_cluster.mark_dead(name)
-                    self.metrics.counter("kv_failures_detected").inc()
-                    if OBS.enabled:
-                        OBS.flight("controller", "kv_down",
-                                   f"{name} dropped from replication ring")
-                elif ok and name not in self.kv_cluster.ring:
-                    self.kv_cluster.mark_live(name, now=self.loop.now())
-                    if OBS.enabled:
-                        OBS.flight("controller", "kv_up",
-                                   f"{name} back in replication ring")
+            self._monitor_kv_cluster(self.kv_cluster)
+        # the standby region's store is monitored too (pre-failover it is
+        # not ``self.kv_cluster`` yet): WAN-partition timeouts make the
+        # relay's client mark secondary servers dead, and only the monitor
+        # re-admits them once their quarantine expires
+        if (self._standby is not None and not self.failed_over
+                and self._standby.kv_cluster is not None):
+            self._monitor_kv_cluster(self._standby.kv_cluster)
+        # region failover: every primary instance is confirmed down (per
+        # the same hysteresis that governs single-instance removal) and a
+        # standby region is registered.  The probe consults ``host.failed``
+        # directly, so a WAN partition -- primary alive but unreachable
+        # from afar -- never looks like region death: that is the
+        # split-brain guard (no second region ever serves a VIP while the
+        # first still owns it).
+        if (self._standby is not None and not self.failed_over
+                and self.instances
+                and not any(self._instance_alive[n] for n in self.instances)):
+            self._fail_over_region()
         # traffic statistics from the instances
         for name, instance in self.instances.items():
             if self._instance_alive[name]:
                 for vip, count in instance.read_and_reset_traffic().items():
                     self.traffic_stats[vip] = self.traffic_stats.get(vip, 0) + count
+
+    def _monitor_kv_cluster(self, cluster: MemcachedCluster) -> None:
+        for name, server in list(cluster.servers.items()):
+            ok = self._kv_health.observe(name, self._probe(server.host))
+            if not ok and name in cluster.ring:
+                cluster.mark_dead(name)
+                self.metrics.counter("kv_failures_detected").inc()
+                if OBS.enabled:
+                    OBS.flight("controller", "kv_down",
+                               f"{name} dropped from replication ring")
+            elif ok and name not in cluster.ring:
+                cluster.mark_live(name, now=self.loop.now())
+                if OBS.enabled:
+                    OBS.flight("controller", "kv_up",
+                               f"{name} back in replication ring")
+
+    # ------------------------------------------------------------ multi-region --
+    def register_standby_region(self, region: StandbyRegion) -> None:
+        """Arm a built-but-idle secondary region for automatic failover."""
+        if self._standby is not None:
+            raise ControllerError("a standby region is already registered")
+        for instance in region.instances:
+            if instance.name in self.instances:
+                raise ControllerError(
+                    f"standby instance {instance.name!r} collides with a "
+                    f"primary instance")
+            instance.backend_view = self.health_view
+        self._standby = region
+
+    def _fail_over_region(self) -> None:
+        """The primary region is gone: promote the secondary and re-home
+        every VIP there (the paper's instance-failover mechanism, Section
+        4.4, generalized to whole sites).
+
+        The order mirrors ``add_vip`` exactly: promote the store first
+        (recovery reads must see the replicated records, not race the
+        promotion), install rules on the standby instances, then re-anchor
+        each VIP on the standby router and push mappings -- so no packet
+        reaches an instance without rules.
+        """
+        standby = self._standby
+        assert standby is not None
+        self.failed_over = True
+        self.failover_at = self.loop.now()
+        dead_ips = [inst.ip for name, inst in self.instances.items()
+                    if not self._instance_alive.get(name)]
+        # 1. promote the secondary store: cross-site shipping stops, the
+        # unshipped backlog is the failover's data loss, and stale copies
+        # converge through newest-wins + read-repair on recovery reads
+        if standby.replicator is not None:
+            self.failover_records_lost = standby.replicator.promote()
+        if standby.kv_cluster is not None:
+            self.kv_cluster = standby.kv_cluster
+            standby.kv_cluster.add_listener(self._on_kv_membership)
+        # 2. the standby instances join the deployment
+        primary_l4lb = self.l4lb
+        self.l4lb = standby.l4lb
+        for instance in standby.instances:
+            self._adopt(instance)
+        names = [inst.name for inst in standby.instances]
+        for vip, policy in self.policies.items():
+            for instance in standby.instances:
+                instance.install_policy(policy)
+            self.assignments[vip] = list(names)
+            # 3. VIP re-anchoring: claiming the VIP onto the standby
+            # router re-points the fabric route, and deliveries re-check
+            # routes, so even packets already in flight land on the new
+            # region
+            self.l4lb.register_vip(vip)
+            # 4. mapping push doubles as SNAT-range re-derivation: the
+            # standby allocator mints a fresh port block per (VIP,
+            # instance) as the mapping installs
+            self._push_mapping(vip)
+        # 5. flush the dead region's mux pins -- harmless when the primary
+        # router died with its site, load-bearing for partial-site
+        # failures where surviving muxes would keep steering pinned flows
+        # at dead instances
+        for ip in dead_ips:
+            primary_l4lb.flush_instance(ip)
+        self.metrics.counter("region_failovers").inc()
+        self.metrics.gauge("failover_records_lost").set(
+            float(self.failover_records_lost))
+        if OBS.enabled:
+            OBS.flight("controller", "region_failover",
+                       f"promoted {standby.site}: {len(names)} instances "
+                       f"take over, {self.failover_records_lost} unshipped "
+                       f"records lost")
 
     # -------------------------------------------------------- store membership --
     def _on_kv_membership(self, event: str, name: str) -> None:

@@ -83,6 +83,13 @@ class FlowState:
     # flight (so the backend's duplicate of it can be suppressed).
     client_prefix: bytes = b""
     tls_handshake_len: int = 0
+    # long-lived (streaming) flows only: the checkpointed high-water mark of
+    # response bytes delivered to the client (whole-stream coordinates), and
+    # the full request header for re-selecting a backend when the recorded
+    # one is dead.  Both serialize only when set, so every pre-existing flow
+    # record stays byte-identical.
+    resp_delivered: int = 0
+    replay_header: bytes = b""
 
     @property
     def yoda_isn(self) -> int:
@@ -119,6 +126,10 @@ class FlowState:
             ),
             "tls_handshake_len": self.tls_handshake_len,
         }
+        if self.resp_delivered:
+            doc["resp_delivered"] = self.resp_delivered
+        if self.replay_header:
+            doc["replay_header"] = base64.b64encode(self.replay_header).decode()
         return json.dumps(doc, separators=(",", ":")).encode()
 
     @classmethod
@@ -141,6 +152,11 @@ class FlowState:
                     if doc.get("client_prefix") else b""
                 ),
                 tls_handshake_len=doc.get("tls_handshake_len", 0),
+                resp_delivered=doc.get("resp_delivered", 0),
+                replay_header=(
+                    base64.b64decode(doc["replay_header"])
+                    if doc.get("replay_header") else b""
+                ),
             )
         except (KeyError, ValueError, json.JSONDecodeError) as exc:
             raise ReproError(f"corrupt flow state: {exc}") from exc

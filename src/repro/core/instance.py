@@ -28,8 +28,9 @@ from repro.core.flowstate import FlowPhase, FlowState, yoda_isn
 from repro.core.policy import VipPolicy
 from repro.core.selector import AllHealthy, BackendView, RuleTable, ScanCostModel
 from repro.core.tcpstore import TcpStore
-from repro.errors import ControllerError
+from repro.errors import ControllerError, SlowClientTimeout
 from repro.http import tls
+from repro.http.server import STREAM_PATH_PREFIX
 from repro.http.message import HttpRequest
 from repro.http.parser import HttpParser
 from repro.net.addresses import Endpoint
@@ -59,6 +60,10 @@ FLOW_IDLE_TIMEOUT = 120.0
 DURABLE_STALE_HORIZON = 2.0
 MSS = 1460
 CERT_RETRANSMIT = 0.5
+# Long-lived (streaming) flows checkpoint their client-acknowledged
+# response watermark to TCPStore every this-many bytes of progress, so a
+# takeover after the backend died too can resume the stream.
+CHECKPOINT_BYTES = 32_768
 
 
 @dataclass
@@ -96,6 +101,8 @@ class _LocalFlow:
         "tls", "tls_codec", "tls_records", "tls_hello_done",
         "resp_out", "resp_acked", "cert_timer", "obs_ctx", "obs_spans",
         "qos_slot", "backend_name",
+        "long_lived", "resumed_stream", "client_acked",
+        "tls_sni", "tls_resumed", "tls_ticket_issued",
     )
 
     def __init__(self, state: FlowState, now: float):
@@ -145,6 +152,15 @@ class _LocalFlow:
         # outcome says nothing about backend health from here
         self.qos_slot = False
         self.backend_name: Optional[str] = None
+        # long-lived streaming flows (paths under /stream/): checkpointed
+        # progress + dead-backend resume bookkeeping
+        self.long_lived = False
+        self.resumed_stream = False  # replaying from a replacement backend
+        self.client_acked = 0  # response bytes the client has ACKed (stream coords)
+        # TLS session resumption (tickets keyed in the flow store)
+        self.tls_sni = ""
+        self.tls_resumed = False
+        self.tls_ticket_issued = False
 
     def key(self) -> str:
         return f"{self.state.client}|{self.state.vip}"
@@ -213,6 +229,7 @@ class YodaInstance:
         scan_cost_model: Optional[ScanCostModel] = None,
         l4lb=None,
         qos_config: Optional[QosConfig] = None,
+        header_deadline: Optional[float] = None,
     ):
         self.host = host
         self.loop = loop
@@ -245,6 +262,19 @@ class YodaInstance:
         self._gc = PeriodicTask(loop, 30.0, self._collect_idle_flows)
         self._gc.start()
 
+        # slow-loris guard: flows must produce a complete header within
+        # this budget of their SYN or be reset (None = off, the default --
+        # pinned traces construct no timer and see no behaviour change)
+        self.header_deadline = header_deadline
+        self.slow_clients: List[SlowClientTimeout] = []
+        self._loris_guard: Optional[PeriodicTask] = None
+        if header_deadline is not None:
+            self._loris_guard = PeriodicTask(
+                loop, max(header_deadline / 2.0, 0.05),
+                self._enforce_header_deadline,
+            )
+            self._loris_guard.start()
+
     # ------------------------------------------------------------- lifecycle --
     @property
     def name(self) -> str:
@@ -272,6 +302,32 @@ class YodaInstance:
     def recover(self) -> None:
         self.host.recover()
 
+    def _enforce_header_deadline(self) -> None:
+        """Slow-loris guard: reset any flow still without a complete
+        request header ``header_deadline`` seconds after its SYN.  The
+        budget is total time in the header phase, not idle time -- a
+        classic slow-loris client trickles a byte at a time and would
+        never trip an idle check."""
+        if self.host.failed or self.header_deadline is None:
+            return
+        now = self.loop.now()
+        for flow in list(self.flows.values()):
+            if flow.phase is not FlowPhase.AWAIT_HEADER:
+                continue
+            if now - flow.t_syn <= self.header_deadline:
+                continue
+            self.slow_clients.append(
+                SlowClientTimeout(str(flow.state.client), self.header_deadline))
+            self.metrics.counter("slow_client_timeouts").inc()
+            if OBS.enabled:
+                OBS.flight(self.name, "slow_client_timeout", flow.key())
+            self._send(Packet(
+                src=flow.state.vip, dst=flow.state.client, flags=RST | ACK,
+                seq=flow.state.yoda_isn,
+                ack=seq_add(flow.state.client_isn, 1),
+            ))
+            self._destroy_flow(flow, remove_stored=True)
+
     # -------------------------------------------------------------- draining --
     def start_drain(self) -> None:
         """Stop admitting new connections; existing flows keep running.
@@ -288,6 +344,16 @@ class YodaInstance:
         recover on whichever instance the mux re-hashes their next packet
         to -- the paper's failover path, exercised deliberately."""
         for flow in list(self.flows.values()):
+            state = flow.state
+            if flow.long_lived and state.established and not self.host.failed:
+                # serialize the stream's progress before letting go, so the
+                # adopting instance resumes the download instead of
+                # replaying it from byte zero (or stalling on a dead
+                # backend with no watermark)
+                if flow.client_acked > state.resp_delivered:
+                    state.resp_delivered = flow.client_acked
+                self.metrics.counter("handoff_checkpoints").inc()
+                self.tcpstore.checkpoint(state)
             if flow.syn_timer is not None:
                 flow.syn_timer.cancel()
             if flow.cert_timer is not None:
@@ -560,6 +626,15 @@ class YodaInstance:
                 self._send(self._translate_to_server(flow, pkt))
             self._destroy_flow(flow, remove_stored=True)
             return
+        if flow.resumed_stream and pkt.has_ack:
+            # the client's cumulative ACK tells us exactly how much of the
+            # replayed response it already holds; raise the suppression
+            # point so the replacement backend is never stuck retransmitting
+            # bytes whose ACKs (beyond its snd_nxt) it would ignore
+            acked = seq_diff(pkt.ack, seq_add(state.yoda_isn, 1))
+            sup = acked - state.response_offset
+            if sup > state.tls_handshake_len:
+                state.tls_handshake_len = sup
         if flow.phase in (FlowPhase.AWAIT_HEADER, FlowPhase.SERVER_SYN_SENT):
             if flow.tls and pkt.has_ack and flow.resp_out:
                 # track how much of our certificate flight the client has
@@ -588,6 +663,8 @@ class YodaInstance:
         # (Section 5.2).  The stream keeps being parsed; a new request is
         # re-classified and, if needed, the backend is switched.
         if flow.phase in (FlowPhase.TUNNEL, FlowPhase.CLOSING):
+            if flow.long_lived and pkt.has_ack:
+                self._note_client_progress(flow, pkt)
             forward = True
             if pkt.payload and flow.requests_seen is not None:
                 offset = seq_diff(pkt.seq, seq_add(state.client_isn, 1))
@@ -604,6 +681,26 @@ class YodaInstance:
                 self._send(self._translate_to_server(flow, pkt))
             self._maybe_finish(flow)
 
+    # ------------------------------------------------- long-lived streaming --
+    def _note_client_progress(self, flow: _LocalFlow, pkt: Packet) -> None:
+        """Track the client's cumulative response ACK and checkpoint it to
+        TCPStore every CHECKPOINT_BYTES of progress.  The watermark is
+        client-*acknowledged* bytes (not merely forwarded ones), so a
+        resume never suppresses bytes the client might not hold."""
+        state = flow.state
+        acked = seq_diff(pkt.ack, seq_add(state.yoda_isn, 1))
+        if acked <= flow.client_acked:
+            return
+        flow.client_acked = acked
+        if acked - state.resp_delivered < CHECKPOINT_BYTES:
+            return
+        state.resp_delivered = acked
+        self.metrics.counter("stream_checkpoints").inc()
+        if OBS.enabled:
+            OBS.flight(self.name, "stream_checkpoint",
+                       f"{flow.key()} acked={acked}")
+        self.tcpstore.checkpoint(state)
+
     # ------------------------------------------------------ SSL termination --
     def _tls_progress(self, flow: _LocalFlow, policy: VipPolicy) -> None:
         """Drive the TLS state machine from the parsed client records."""
@@ -615,6 +712,19 @@ class YodaInstance:
                 # store-before-ACK: the certificate flight acknowledges the
                 # hello, so the hello bytes must be recoverable first
                 state.client_prefix = bytes(flow.req_assembled)
+                sni, ticket = tls.parse_hello(payload)
+                flow.tls_sni = sni
+                if ticket is not None and policy.session_tickets:
+                    # abbreviated handshake: validate the ticket against
+                    # the flow store BEFORE committing a single response
+                    # byte -- an accepted-then-unknown ticket would desync
+                    # the backend's deterministic handshake replay
+                    self.tcpstore.get_ticket(
+                        ticket,
+                        lambda v, t=ticket: self._tls_ticket_checked(
+                            flow.key(), t, v),
+                    )
+                    continue
                 t0 = self.loop.now()
                 if OBS.enabled:
                     # second storage-a write of a TLS flow (the hello
@@ -642,7 +752,56 @@ class YodaInstance:
                 if request is not None:
                     flow.t_header = self.loop.now()
                     self._dispatch_selection(flow, policy, request)
-            # KEY_EXCHANGE needs no action: the key is derivable by all
+            elif rtype == tls.KEY_EXCHANGE:
+                # the key itself is derivable by all; after a *full*
+                # handshake this is also where a session ticket is issued
+                # (appended to the deterministic flight, mirrored by the
+                # backend, and keyed into the flow store so resumption
+                # survives instance and region failover)
+                if (policy.session_tickets and not flow.tls_resumed
+                        and not flow.tls_ticket_issued):
+                    flow.tls_ticket_issued = True
+                    ticket = tls.ticket_for(flow.tls_sni)
+                    flow.resp_out += tls.session_ticket(ticket)
+                    self.metrics.counter("tls_tickets_issued").inc()
+                    self.tcpstore.put_ticket(ticket, flow.tls_sni)
+                    self._send_cert_flight(flow)
+
+    def _tls_ticket_checked(self, key: str, ticket: str,
+                            value: Optional[bytes]) -> None:
+        """Resolution of a resumption ticket lookup (abbreviated handshake)."""
+        flow = self.flows.get(key)
+        if flow is None or self.host.failed:
+            return
+        state = flow.state
+        if value is None:
+            # unknown ticket: refuse resumption outright.  The client falls
+            # back to a full handshake on a fresh connection; accepting and
+            # serving a certificate here would leave the backend (which
+            # trusts ticket-bearing hellos) replaying a shorter flight than
+            # the one we suppressed.
+            self.metrics.counter("tls_tickets_rejected").inc()
+            if OBS.enabled:
+                OBS.flight(self.name, "tls_ticket_rejected", key)
+            self._send(Packet(
+                src=state.vip, dst=state.client, flags=RST | ACK,
+                seq=state.yoda_isn,
+                ack=seq_add(state.client_isn, 1 + len(flow.req_assembled)),
+            ))
+            self._destroy_flow(flow, remove_stored=True)
+            return
+        self.metrics.counter("tls_tickets_resumed").inc()
+        if OBS.enabled:
+            OBS.flight(self.name, "tls_ticket_resumed", key)
+        flow.tls_resumed = True
+        flow.resp_out = tls.session_ticket(ticket)
+        # store-before-ACK still holds: persist the hello prefix, then send
+        # the abbreviated flight (the stored prefix carrying a ticket is
+        # what marks this flow as a validated resumption for recovery)
+        t0 = self.loop.now()
+        self.tcpstore.store_client_syn(
+            state, lambda ok: self._tls_prefix_stored(key, ok, t0)
+        )
 
     def _tls_prefix_stored(self, key: str, ok: bool, t0: float) -> None:
         flow = self.flows.get(key)
@@ -711,6 +870,10 @@ class YodaInstance:
         """Classify a (possibly decrypted) request and start the backend
         connection after the rule-scan latency."""
         flow.request = request
+        if request.path.startswith(STREAM_PATH_PREFIX) and not flow.tls:
+            # a long-lived streaming download: checkpoint its progress and
+            # keep enough context to re-select a backend after failures
+            flow.long_lived = True
         if flow.requests_seen is not None:
             flow.requests_seen = max(1, len(flow.parsed))
         version, table = self._tables[policy.vip]
@@ -778,6 +941,11 @@ class YodaInstance:
             # the backend will replay the identical deterministic
             # handshake flight; remember how many bytes to suppress
             state.tls_handshake_len = len(flow.resp_out)
+        if flow.long_lived:
+            # the full request header, so a takeover instance can re-run
+            # rule selection if this backend is dead by then; rides the
+            # storage-b write below
+            state.replay_header = bytes(flow.req_assembled)
         flow.phase = FlowPhase.SERVER_SYN_SENT
         state.phase = FlowPhase.SERVER_SYN_SENT.value
         self.by_server[(str(server_ep), snat_port)] = key
@@ -1157,25 +1325,97 @@ class YodaInstance:
                 flow.req_assembled = bytearray(state.client_prefix)
                 flow.tls_records.extend(
                     flow.tls_codec.feed(state.client_prefix))
-                for rtype, _ in flow.tls_records:
+                for rtype, payload in flow.tls_records:
                     if rtype == tls.CLIENT_HELLO:
                         flow.tls_hello_done = True
+                        sni, ticket = tls.parse_hello(payload)
+                        flow.tls_sni = sni
+                        if ticket is not None and policy.session_tickets:
+                            # the dead instance only persists a ticketed
+                            # hello after validating it, so resume the
+                            # abbreviated flight rather than the full one
+                            flow.tls_resumed = True
+                            flow.resp_out = tls.session_ticket(ticket)
                 flow.tls_records = [
                     r for r in flow.tls_records if r[0] != tls.CLIENT_HELLO
                 ]
                 if flow.tls_hello_done:
                     self.loop.call_soon(self._resend_cert_if_alive, key)
         if state.established:
-            flow.phase = FlowPhase.TUNNEL
-            self.by_server[(str(state.server), state.snat_port)] = key
-            # a recovered tunnel flow replays no header; the endpoints'
-            # own retransmissions drive it
-            flow.forwarded_req_bytes = 0
+            flow.long_lived = bool(state.replay_header) and not flow.tls
+            if (flow.long_lived and policy is not None
+                    and self._backend_dead(policy, state.server)
+                    and self._resume_dead_backend(key, flow, policy)):
+                pass  # reconnecting to a replacement backend
+            else:
+                flow.phase = FlowPhase.TUNNEL
+                self.by_server[(str(state.server), state.snat_port)] = key
+                # a recovered tunnel flow replays no header; the endpoints'
+                # own retransmissions drive it
+                flow.forwarded_req_bytes = 0
         else:
             flow.phase = FlowPhase.AWAIT_HEADER
         self.flows[key] = flow
         self.metrics.counter("flows_recovered").inc()
         return flow
+
+    def _backend_dead(self, policy: VipPolicy, server_ep: Endpoint) -> bool:
+        """Whether the controller's health view says this endpoint's
+        backend is down (the region-kill case for recovered streams)."""
+        for name, ep in policy.backends.items():
+            if ep == server_ep:
+                return not self.backend_view.is_healthy(name)
+        return False
+
+    def _resume_dead_backend(self, key: str, flow: _LocalFlow,
+                             policy: VipPolicy) -> bool:
+        """Re-anchor a recovered long-lived flow onto a live backend.
+
+        The stored backend is dead, so tunneling would stall forever.
+        Instead: re-run rule selection on the persisted request header,
+        open a fresh backend connection (new SNAT port), replay the
+        request, and let the replacement backend re-serve the
+        deterministic response from byte zero -- suppressing, with local
+        ACKs, everything up to the checkpointed client watermark, exactly
+        the way the duplicate TLS handshake flight is suppressed."""
+        state = flow.state
+        request = self._parse_header_only(bytes(state.replay_header))
+        if request is None:
+            return False
+        version, table = self._tables[policy.vip]
+        result = table.select(request, self.rng, self._selection_view())
+        if result is None:
+            return False
+        new_ep = policy.endpoint_of(result.backend)
+        if new_ep == state.server:
+            return False  # selection still points at the dead backend
+        self.metrics.counter("stream_resumes").inc()
+        if OBS.enabled:
+            OBS.flight(self.name, "stream_resume",
+                       f"{key} -> {result.backend}")
+        flow.resumed_stream = True
+        flow.request = request
+        flow.req_assembled = bytearray(state.replay_header)
+        # suppress response bytes the client is known to hold; client ACKs
+        # raise this further as they arrive (see _client_packet_on_flow)
+        sup = state.resp_delivered - state.response_offset
+        if sup > state.tls_handshake_len:
+            state.tls_handshake_len = sup
+        state.server = new_ep
+        state.server_isn = None
+        state.snat_port = self._alloc_snat_port(policy.vip)
+        state.phase = FlowPhase.SERVER_SYN_SENT.value
+        flow.phase = FlowPhase.SERVER_SYN_SENT
+        flow.forwarded_req_bytes = state.request_offset
+        flow.policy_version = version
+        self.by_server[(str(new_ep), state.snat_port)] = key
+        flow.t_server_syn = self.loop.now()
+        if OBS.enabled:
+            self._obs_start(flow, "server_connect")
+        self._send_server_syn(flow)
+        flow.syn_timer = Timer(self.loop, lambda: self._server_syn_rto(key))
+        flow.syn_timer.start(SERVER_SYN_RTO)
+        return True
 
     # ================================================================ cleanup ==
     def _maybe_finish(self, flow: _LocalFlow) -> None:

@@ -75,6 +75,10 @@ class VipPolicy:
     # SSL termination (Section 5.2): when set, YODA instances serve this
     # certificate and decrypt request headers for rule matching
     certificate: Optional[Certificate] = None
+    # TLS session resumption: instances issue deterministic tickets (kept
+    # in the flow store) and accept abbreviated handshakes against them;
+    # backends must be configured to mirror the same behaviour
+    session_tickets: bool = False
 
     def __post_init__(self) -> None:
         self.validate()
@@ -107,6 +111,7 @@ class VipPolicy:
             rules=list(rules if rules is not None else self.rules),
             version=self.version + 1,
             certificate=self.certificate,
+            session_tickets=self.session_tickets,
         )
 
     def endpoint_of(self, backend: str) -> Endpoint:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.controller import YodaController
+from repro.core.controller import StandbyRegion, YodaController
 from repro.core.instance import YodaCostModel, YodaInstance
 from repro.core.policy import VipPolicy
 from repro.core.selector import ScanCostModel
@@ -20,6 +20,7 @@ from repro.http.server import BackendHttpServer
 from repro.kvstore.client import MemcachedCluster, ReplicatingKvClient
 from repro.kvstore.memcached import MemcachedServer
 from repro.kvstore.repair import FlowStateRepairer
+from repro.kvstore.sitesync import SiteReplicator
 from repro.l4lb.service import L4LoadBalancer
 from repro.net.host import Host
 from repro.net.network import Network
@@ -61,6 +62,25 @@ class YodaServiceConfig:
     # one bundle overriding the scattered hardening knobs above, for
     # sweeps/ablations; defaults equal the historical constants exactly
     hardening: Optional[HardeningConfig] = None
+    # -- multi-region (None = the historical single-site deployment; a
+    # 1-site build constructs nothing extra and stays bit-identical) --
+    standby_site: Optional[str] = None  # e.g. "dc2": build a standby region
+    num_standby_instances: int = 0  # 0 -> num_instances
+    num_standby_stores: int = 0  # 0 -> num_store_servers
+    standby_instance_prefix: str = "10.5"
+    standby_store_prefix: str = "10.6"
+    standby_router_ip: str = "10.255.0.2"
+    # asynchronous cross-site replication of the flow store (the
+    # --no-replication ablation turns this off: the standby promotes
+    # against an empty store and established flows cannot survive)
+    replication: bool = True
+    sync_interval: float = 0.05
+    sync_rate: float = 400.0
+    sync_burst: float = 80.0
+    sync_op_timeout: float = 0.25  # must exceed the WAN round trip
+    # slow-loris guard: kill flows that never complete their request
+    # headers within this many seconds of the SYN (None = off)
+    header_deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.hardening is not None:
@@ -120,13 +140,90 @@ class YodaService:
             rng=self.rng, **controller_kwargs,
         )
 
-    def _build_instance(self, index: int) -> YodaInstance:
+        # multi-region: everything standby is built strictly after the
+        # single-site deployment, so a 1-site run constructs exactly what
+        # it always did
+        self.standby_l4lb: Optional[L4LoadBalancer] = None
+        self.standby_store_servers: List[MemcachedServer] = []
+        self.standby_kv_cluster: Optional[MemcachedCluster] = None
+        self.standby_instances: List[YodaInstance] = []
+        self.replicator: Optional[SiteReplicator] = None
+        if cfg.standby_site is not None:
+            self._build_standby_region()
+
+    def _build_standby_region(self) -> None:
+        """Construct the secondary site: its own L4 LB (router + muxes),
+        store cluster and standby instances, plus -- unless ablated -- the
+        cross-site replicator relay feeding it.  The controller
+        orchestrates promotion when the primary region dies."""
+        cfg = self.config
+        site = cfg.standby_site
+        self.standby_l4lb = L4LoadBalancer(
+            self.loop, self.network, self.rng.fork("standby"),
+            num_muxes=cfg.num_muxes,
+            mapping_propagation=cfg.mapping_propagation,
+            router_ip=cfg.standby_router_ip,
+            router_name="l4-router-standby", site=site,
+        )
+        n_stores = cfg.num_standby_stores or cfg.num_store_servers
+        for i in range(n_stores):
+            host = self.network.attach(
+                Host(f"tcpstore-s-{i}",
+                     [f"{cfg.standby_store_prefix}.0.{i + 1}"], site=site)
+            )
+            self.standby_store_servers.append(MemcachedServer(host, self.loop))
+        self.standby_kv_cluster = MemcachedCluster(self.standby_store_servers)
+        if cfg.replication:
+            # the relay lives in the PRIMARY site: shipped records pay the
+            # real WAN latency, and a region kill takes the relay (and its
+            # unshipped backlog) down with everything else
+            relay = self.network.attach(
+                Host("sitesync-relay", ["10.7.0.1"], site="dc")
+            )
+            relay_kv = ReplicatingKvClient(
+                relay, self.loop, self.standby_kv_cluster,
+                replicas=cfg.store_replicas,
+                op_timeout=cfg.sync_op_timeout,
+                max_retries=cfg.kv_max_retries,
+                dead_after_timeouts=cfg.kv_dead_after_timeouts,
+                quarantine=cfg.kv_quarantine,
+                rng=self.rng.fork("kv/sitesync-relay"),
+                read_repair=False, hinted_handoff=False,
+            )
+            relay.set_handler(relay_kv.handle_response)
+            self.replicator = SiteReplicator(
+                self.loop, relay_kv, interval=cfg.sync_interval,
+                rate=cfg.sync_rate, burst=cfg.sync_burst,
+            )
+            self.replicator.start()
+            for instance in self.instances:
+                instance.tcpstore.replicator = self.replicator
+        n_inst = cfg.num_standby_instances or cfg.num_instances
+        for i in range(n_inst):
+            self.standby_instances.append(self._build_instance(
+                i, name=f"yoda-s-{i}",
+                ip=f"{cfg.standby_instance_prefix}.0.{i + 1}", site=site,
+                cluster=self.standby_kv_cluster, l4lb=self.standby_l4lb,
+            ))
+        self.controller.register_standby_region(StandbyRegion(
+            site=site, l4lb=self.standby_l4lb,
+            instances=self.standby_instances,
+            kv_cluster=self.standby_kv_cluster,
+            replicator=self.replicator,
+        ))
+
+    def _build_instance(self, index: int, name: Optional[str] = None,
+                        ip: Optional[str] = None, site: str = "dc",
+                        cluster: Optional[MemcachedCluster] = None,
+                        l4lb: Optional[L4LoadBalancer] = None) -> YodaInstance:
         cfg = self.config
         host = self.network.attach(
-            Host(f"yoda-{index}", [f"{cfg.instance_prefix}.0.{index + 1}"], site="dc")
+            Host(name or f"yoda-{index}",
+                 [ip or f"{cfg.instance_prefix}.0.{index + 1}"], site=site)
         )
         kv = ReplicatingKvClient(
-            host, self.loop, self.kv_cluster, replicas=cfg.store_replicas,
+            host, self.loop, cluster or self.kv_cluster,
+            replicas=cfg.store_replicas,
             op_timeout=cfg.kv_op_timeout, max_retries=cfg.kv_max_retries,
             dead_after_timeouts=cfg.kv_dead_after_timeouts,
             quarantine=cfg.kv_quarantine,
@@ -136,7 +233,8 @@ class YodaService:
         instance = YodaInstance(
             host, self.loop, self.rng, TcpStore(kv),
             cost_model=cfg.cost_model, scan_cost_model=cfg.scan_cost_model,
-            l4lb=self.l4lb, qos_config=cfg.qos,
+            l4lb=l4lb or self.l4lb, qos_config=cfg.qos,
+            header_deadline=cfg.header_deadline,
         )
         if instance.qos is not None:
             # store latency feeds the AIMD limiter: kv degradation becomes

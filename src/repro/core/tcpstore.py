@@ -32,9 +32,14 @@ from repro.net.addresses import Endpoint
 class TcpStore:
     """One instance's handle on the shared flow-state store."""
 
-    def __init__(self, kv: ReplicatingKvClient, writer_id: Optional[str] = None):
+    def __init__(self, kv: ReplicatingKvClient, writer_id: Optional[str] = None,
+                 replicator=None):
         self.kv = kv
         self.writer_id = writer_id or kv.host.name
+        # optional cross-site shipper (kvstore.sitesync.SiteReplicator):
+        # acked writes and teardowns are mirrored to the secondary site.
+        # None (the single-site default) leaves every path untouched.
+        self.replicator = replicator
         self.storage_a_ops = 0
         self.storage_b_ops = 0
         # per-key: the version of the newest record we wrote or read; the
@@ -88,14 +93,20 @@ class TcpStore:
         -- the live flow must out-version the ghost before we acknowledge
         anything that depends on this record being durable."""
 
+        version = self._stamp(key)
+
         def _cb(result: KvOpResult) -> None:
             if result.superseded_by is not None and rounds > 1:
                 self._adopt_version(key, result.superseded_by)
                 self._write(key, payload, on_done, rounds - 1)
                 return
+            if result.ok and self.replicator is not None:
+                # ship at the version that actually won locally, so the
+                # secondary's copy reconciles newest-wins identically
+                self.replicator.note(key, payload, version)
             on_done(result.ok)
 
-        self.kv.set(key, payload, _cb, version=self._stamp(key))
+        self.kv.set(key, payload, _cb, version=version)
 
     def store_client_syn(self, state: FlowState,
                          on_done: Callable[[bool], None]) -> None:
@@ -124,6 +135,45 @@ class TcpStore:
         self._write(state.storage_key(), payload, _one)
         self._write(skey, payload, _one)
 
+    def checkpoint(self, state: FlowState,
+                   on_done: Optional[Callable[[bool], None]] = None) -> None:
+        """Re-persist both records mid-flow.  Long-lived (streaming) flows
+        call this as their delivered-bytes watermark advances, so a flow
+        resumed after an instance -- or region -- failure knows how much of
+        the response the client already holds."""
+        cb = on_done or (lambda ok: None)
+        payload = state.to_bytes()
+        self._write(state.storage_key(), payload, cb)
+        skey = state.server_storage_key()
+        if skey is not None:
+            self._write(skey, payload, cb)
+
+    # -- TLS session tickets (stored alongside flow state, same replication) --
+    @staticmethod
+    def ticket_storage_key(ticket: str) -> str:
+        return f"yoda:tkt:{ticket}"
+
+    def put_ticket(self, ticket: str, sni: str,
+                   on_done: Optional[Callable[[bool], None]] = None) -> None:
+        """Persist an issued TLS session ticket.  Riding ``_write`` gives
+        it version stamping and -- when a replicator is wired -- cross-site
+        shipping, so resumption survives instance *and* region failover."""
+        self._write(self.ticket_storage_key(ticket), sni.encode(),
+                    on_done or (lambda ok: None))
+
+    def get_ticket(self, ticket: str,
+                   on_done: Callable[[Optional[bytes]], None]) -> None:
+        key = self.ticket_storage_key(ticket)
+
+        def _cb(result: KvOpResult) -> None:
+            if not result.ok or result.value is None:
+                on_done(None)
+                return
+            self._adopt_version(key, result.version)
+            on_done(result.value)
+
+        self.kv.get(key, _cb)
+
     # -- reads (only on the recovery path) ----------------------------------------
     def get_by_client(self, client: Endpoint, vip: Endpoint,
                       on_done: Callable[[Optional[FlowState]], None]) -> None:
@@ -145,17 +195,26 @@ class TcpStore:
         change.  Pinning the delete to *our* version means we only ever
         destroy our own records."""
         key = state.storage_key()
-        self.kv.delete(key, version=self._versions.pop(key, None))
+        version = self._versions.pop(key, None)
+        self.kv.delete(key, version=version)
+        if self.replicator is not None:
+            self.replicator.note_delete(key, version)
         skey = state.server_storage_key()
         if skey is not None:
-            self.kv.delete(skey, version=self._versions.pop(skey, None))
+            sversion = self._versions.pop(skey, None)
+            self.kv.delete(skey, version=sversion)
+            if self.replicator is not None:
+                self.replicator.note_delete(skey, sversion)
 
     def remove_server_index(self, state: FlowState) -> None:
         """Drop only the server-side index entry (used when an HTTP/1.1
         backend switch retires the old server connection)."""
         skey = state.server_storage_key()
         if skey is not None:
-            self.kv.delete(skey, version=self._versions.pop(skey, None))
+            sversion = self._versions.pop(skey, None)
+            self.kv.delete(skey, version=sversion)
+            if self.replicator is not None:
+                self.replicator.note_delete(skey, sversion)
 
     def _decode(self, key: str, result: KvOpResult) -> Optional[FlowState]:
         if not result.ok or result.value is None:

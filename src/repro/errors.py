@@ -57,6 +57,23 @@ class HttpParseError(HttpError):
     """Raw bytes could not be parsed as an HTTP message."""
 
 
+class SlowClientTimeout(HttpError):
+    """A peer fed request bytes slower than the progress deadline allows
+    (the slow-loris guard).
+
+    Carries the peer and the deadline so operators can distinguish an
+    attack pattern (many peers, one source range) from a genuinely slow
+    client.
+    """
+
+    def __init__(self, peer: str, deadline: float):
+        super().__init__(
+            f"no request progress from {peer} within {deadline:.3f}s"
+        )
+        self.peer = peer
+        self.deadline = deadline
+
+
 class KvStoreError(ReproError):
     """Key-value store (Memcached substrate) failure."""
 

@@ -35,6 +35,7 @@ from repro.sim.random import SeededRng
 from repro.sim.tracing import PacketTrace
 from repro.tcp.endpoint import TcpStack
 from repro.workload.clients import ClosedLoopProcess, OpenLoopGenerator
+from repro.workload.streaming import StreamingFleet
 from repro.workload.objects import ObjectCorpus, build_flat_corpus, build_university_site
 from repro.workload.website import Website
 
@@ -91,6 +92,17 @@ class TestbedConfig:
     hardening: Optional[HardeningConfig] = None  # bundled hardening knobs
     trace_packets: bool = False
     tls_certificate: object = None  # repro.http.tls.Certificate enables SSL
+    # -- multi-region (None = the historical single-site testbed) --
+    standby_site: Optional[str] = None  # e.g. "dc2": a second region
+    num_standby_backends: int = 0  # 0 -> num_backends
+    wan_one_way_latency: float = 0.020  # dc <-> standby site
+    wan_jitter: float = 0.002
+    replication: bool = True  # cross-site flow-store shipping (ablation)
+    sync_interval: float = 0.05  # replicator pacing (lag ablations)
+    # -- hardening / long-lived-flow knobs --
+    header_deadline: Optional[float] = None  # instance slow-loris guard
+    backend_progress_deadline: Optional[float] = None  # backend loris guard
+    tls_session_tickets: bool = False  # resumption tickets in the flow store
 
 
 class Testbed:
@@ -111,6 +123,19 @@ class Testbed:
             JitterLatency(cfg.client_one_way_latency, cfg.client_jitter)
             if cfg.client_jitter > 0 else FixedLatency(cfg.client_one_way_latency),
         )
+        if cfg.standby_site is not None:
+            # the standby region sits a WAN hop from the primary and the
+            # same campus distance from the clients
+            wan = (JitterLatency(cfg.wan_one_way_latency, cfg.wan_jitter)
+                   if cfg.wan_jitter > 0
+                   else FixedLatency(cfg.wan_one_way_latency))
+            self.network.set_symmetric_latency("dc", cfg.standby_site, wan)
+            self.network.set_symmetric_latency(
+                "internet", cfg.standby_site,
+                JitterLatency(cfg.client_one_way_latency, cfg.client_jitter)
+                if cfg.client_jitter > 0
+                else FixedLatency(cfg.client_one_way_latency),
+            )
         self.trace: Optional[PacketTrace] = None
         if cfg.trace_packets:
             self.trace = self.network.add_trace(PacketTrace())
@@ -134,15 +159,42 @@ class Testbed:
             self.backends[f"srv-{i}"] = BackendHttpServer(
                 host, self.loop, self.corpus.site, service_model=service_model,
                 tls_certificate=cfg.tls_certificate,
+                progress_deadline=cfg.backend_progress_deadline,
+                session_tickets=cfg.tls_session_tickets,
             )
 
+        self.standby_backends: Dict[str, BackendHttpServer] = {}
+        if cfg.standby_site is not None:
+            for i in range(cfg.num_standby_backends or cfg.num_backends):
+                host = self.network.attach(
+                    Host(f"srv-s-{i}", [f"10.3.1.{i + 1}"],
+                         site=cfg.standby_site)
+                )
+                self.standby_backends[f"srv-s-{i}"] = BackendHttpServer(
+                    host, self.loop, self.corpus.site,
+                    service_model=service_model,
+                    tls_certificate=cfg.tls_certificate,
+                    progress_deadline=cfg.backend_progress_deadline,
+                    session_tickets=cfg.tls_session_tickets,
+                )
+
         self.vip = DEFAULT_VIP
+        # primary-backup rule pattern: the standby site's backends sit in a
+        # lower-priority rule, selected only once every primary backend is
+        # marked unhealthy (i.e. after a region kill)
+        rules = [weighted_split("even-split", "*",
+                                {n: 1.0 for n in self.backends})]
+        if self.standby_backends:
+            rules.append(weighted_split("standby-split", "*",
+                                        {n: 1.0 for n in self.standby_backends}))
         self.policy = VipPolicy(
             vip=self.vip,
-            backends={n: Endpoint(b.ip, 80) for n, b in self.backends.items()},
-            rules=[weighted_split("even-split", "*",
-                                  {n: 1.0 for n in self.backends})],
+            backends={n: Endpoint(b.ip, 80)
+                      for n, b in {**self.backends,
+                                   **self.standby_backends}.items()},
+            rules=rules,
             certificate=cfg.tls_certificate,
+            session_tickets=cfg.tls_session_tickets,
         )
 
         # load balancer tier
@@ -166,11 +218,20 @@ class Testbed:
                     self_healing=cfg.kv_self_healing,
                     qos=cfg.qos,
                     hardening=cfg.hardening,
+                    standby_site=cfg.standby_site,
+                    replication=cfg.replication,
+                    sync_interval=cfg.sync_interval,
+                    header_deadline=cfg.header_deadline,
+                    sync_op_timeout=max(
+                        0.25, 4 * cfg.wan_one_way_latency + 0.05),
                 ),
             )
-            self.yoda.add_service(self.policy, self.backends)
+            self.yoda.add_service(
+                self.policy, {**self.backends, **self.standby_backends})
             self.l4lb = self.yoda.l4lb
         elif cfg.lb == "haproxy":
+            if cfg.standby_site is not None:
+                raise ValueError("multi-region is a yoda-only feature")
             from repro.l4lb.service import L4LoadBalancer
 
             self.l4lb = L4LoadBalancer(self.loop, self.network, self.rng)
@@ -225,6 +286,21 @@ class Testbed:
             proc.start()
             out.append(proc)
         return out
+
+    def streaming(self, count: int, chunks: int = 40, chunk_bytes: int = 2_000,
+                  interval_ms: int = 100, start_at: float = 0.0,
+                  spacing: float = 0.05, stall_timeout: float = 1.0,
+                  max_stalls: int = 20,
+                  http_timeout: float = 120.0) -> StreamingFleet:
+        """Launch long-lived paced downloads (``/stream/...`` paths)."""
+        fleet = StreamingFleet(
+            self.client_stacks, self.loop, self.target(),
+            f"/stream/{chunks}/{chunk_bytes}/{interval_ms}", count,
+            start_at=start_at, spacing=spacing, stall_timeout=stall_timeout,
+            max_stalls=max_stalls, http_timeout=http_timeout,
+        )
+        fleet.start()
+        return fleet
 
     def open_loop(self, rate: float, http_timeout: float = 30.0) -> OpenLoopGenerator:
         gen = OpenLoopGenerator(

@@ -10,7 +10,7 @@ followed by its embedded objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import HttpError
 from repro.http import tls
@@ -38,6 +38,7 @@ class FetchResult:
     retries_used: int = 0
     response: Optional[HttpResponse] = None
     first_attempt_failed: bool = False
+    resumed: bool = False  # HTTPS only: completed via an abbreviated handshake
 
     @property
     def latency(self) -> float:
@@ -269,24 +270,38 @@ class HttpsFetcher(HttpFetcher):
     HANDSHAKE_RETRY = 1.0
     MAX_HANDSHAKE_RETRIES = 20
 
-    def __init__(self, *args, sni: str = "", **kwargs):
+    def __init__(self, *args, sni: str = "",
+                 session_cache: Optional[Dict[str, str]] = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.sni = sni or str(self.target.ip)
+        # sni -> session ticket; share one dict across fetchers to model a
+        # browser's session cache (resumption skips the certificate flight)
+        self.session_cache = session_cache
         self._codec = tls.TlsCodec()
         self._tls_established = False
+        self._resuming = False
         self._handshake_timer = Timer(self.loop, self._handshake_stalled)
         self._handshake_retries = 0
 
     def start(self) -> "HttpsFetcher":
         self._codec = tls.TlsCodec()
         self._tls_established = False
+        self._resuming = (self.session_cache is not None
+                          and self.sni in self.session_cache)
         self._handshake_retries = 0
         return super().start()
 
     # -- TCP callbacks --------------------------------------------------
     def on_connected(self, conn: TcpConnection) -> None:
-        conn.send(tls.client_hello(self.sni))
+        ticket = self.session_cache[self.sni] if self._resuming else None
+        conn.send(tls.client_hello(self.sni, ticket=ticket))
         self._handshake_timer.start(self.HANDSHAKE_RETRY)
+
+    def _handshake_done(self, conn: TcpConnection) -> None:
+        self._tls_established = True
+        self._handshake_timer.cancel()
+        conn.send(tls.key_exchange(self.sni))
+        conn.send(tls.app_data(self.request.serialize()))
 
     def on_data(self, conn: TcpConnection, data: bytes) -> None:
         if self.stall_timeout is not None and not self._finished:
@@ -299,10 +314,15 @@ class HttpsFetcher(HttpFetcher):
             return
         for rtype, payload in records:
             if rtype == tls.CERTIFICATE and not self._tls_established:
-                self._tls_established = True
-                self._handshake_timer.cancel()
-                conn.send(tls.key_exchange(self.sni))
-                conn.send(tls.app_data(self.request.serialize()))
+                self._handshake_done(conn)
+            elif rtype == tls.SESSION_TICKET:
+                if not self._tls_established and self._resuming:
+                    # abbreviated handshake accepted: no certificate flight
+                    self.result.resumed = True
+                    self._handshake_done(conn)
+                elif self.session_cache is not None:
+                    # ticket issued after a full handshake: cache it
+                    self.session_cache[self.sni] = payload.decode()
             elif rtype == tls.APP_DATA:
                 try:
                     parsed = self._parser.feed(payload)
@@ -326,6 +346,12 @@ class HttpsFetcher(HttpFetcher):
 
     def _attempt_failed(self, error: str) -> None:
         self._handshake_timer.cancel()
+        if self._resuming and not self._tls_established:
+            # the ticket was rejected (e.g. not in the flow store); forget
+            # it so the retry -- a fresh connection -- does a full handshake
+            if self.session_cache is not None:
+                self.session_cache.pop(self.sni, None)
+            self._resuming = False
         super()._attempt_failed(error)
 
     def _complete(self, response: HttpResponse) -> None:

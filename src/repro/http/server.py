@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
-from repro.errors import HttpError
+from repro.errors import HttpError, SlowClientTimeout
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.parser import HttpParser
 from repro.http import tls
@@ -62,6 +62,37 @@ def _synthesize(path: str, size: int) -> bytes:
     return stamp + filler
 
 
+# long-lived (streaming) responses: /stream/<chunks>/<chunk_bytes>/<interval_ms>
+# is served as a paced chunked download -- the workload for flows that must
+# outlive instance and region failures.
+STREAM_PATH_PREFIX = "/stream/"
+
+
+def parse_stream_path(path: str):
+    """``/stream/<chunks>/<chunk_bytes>/<interval_ms>`` -> tuple or None."""
+    if not path.startswith(STREAM_PATH_PREFIX):
+        return None
+    parts = path[len(STREAM_PATH_PREFIX):].split("/")
+    if len(parts) != 3:
+        return None
+    try:
+        chunks, chunk_bytes, interval_ms = (int(p) for p in parts)
+    except ValueError:
+        return None
+    if chunks < 1 or chunk_bytes < 1 or interval_ms < 0:
+        return None
+    return chunks, chunk_bytes, interval_ms
+
+
+@dataclass
+class _PacedBody:
+    """A serialized response delivered chunk-by-chunk on a timer."""
+
+    data: bytes
+    chunk: int
+    interval: float
+
+
 @dataclass
 class ServiceTimeModel:
     """How long the backend takes to produce a response.
@@ -89,6 +120,8 @@ class BackendHttpServer:
         service_model: Optional[ServiceTimeModel] = None,
         stack: Optional[TcpStack] = None,
         tls_certificate: Optional["tls.Certificate"] = None,
+        progress_deadline: Optional[float] = None,
+        session_tickets: bool = False,
     ):
         self.host = host
         self.loop = loop
@@ -97,10 +130,17 @@ class BackendHttpServer:
         self.service_model = service_model or ServiceTimeModel()
         self.stack = stack or TcpStack(host, loop)
         self.tls_certificate = tls_certificate
+        # slow-loris guard: a connection must complete each request within
+        # this many seconds of its first byte, or be reset (None = off)
+        self.progress_deadline = progress_deadline
+        # issue deterministic TLS session tickets after full handshakes
+        self.session_tickets = session_tickets
         self.stack.listen(port, self._accept)
         self.requests_served = 0
         self.active_requests = 0
         self.bytes_served = 0
+        self.slow_client_timeouts = 0
+        self.slow_clients: List[SlowClientTimeout] = []
 
     @property
     def name(self) -> str:
@@ -123,6 +163,23 @@ class BackendHttpServer:
 
     def handle_request(self, request: HttpRequest) -> HttpResponse:
         """Map a request to a response.  Override for dynamic behaviour."""
+        stream = parse_stream_path(request.path)
+        if stream is not None:
+            chunks, chunk_bytes, interval_ms = stream
+            # NOTE: no per-backend header here -- a resumed flow replays
+            # this response from a *different* backend, and the paper's
+            # duplicate-suppression trick needs the two byte streams to be
+            # identical given the path alone
+            return HttpResponse(
+                200,
+                headers={
+                    "Server": "Apache/2.2.3 (sim)",
+                    "X-Stream-Chunk": str(chunk_bytes),
+                    "X-Stream-Interval": f"{interval_ms / 1000.0:.6f}",
+                },
+                body=_synthesize(request.path, chunks * chunk_bytes),
+                version=request.version,
+            )
         body = self.site.get(request.path)
         if body is None:
             return HttpResponse(404, body=b"not found", version=request.version)
@@ -140,20 +197,64 @@ class _ServerConnection(ConnectionHandler):
     def __init__(self, server: BackendHttpServer):
         self.server = server
         self.parser = HttpParser("request")
-        self._ready: Dict[int, bytes] = {}  # request id -> serialized response
+        self._ready: Dict[int, object] = {}  # request id -> serialized response
         self._next_id = 0  # id assigned to the next arriving request
         self._next_to_send = 0  # pipelining: responses go out in arrival order
         self._closing = False
+        self._streaming = False  # a paced response is mid-delivery
         self._obs_spans: Dict[int, object] = {}
+        # slow-loris guard bookkeeping
+        self._progress_timer = None
+        self._partial_bytes = 0  # request bytes since the last complete request
+
+    def on_connected(self, conn: TcpConnection) -> None:
+        self._arm_progress_timer(conn)
 
     def on_data(self, conn: TcpConnection, data: bytes) -> None:
+        self._partial_bytes += len(data)
         try:
             parsed = self.parser.feed(data)
         except HttpError:
             conn.abort("bad-request")
             return
+        if parsed:
+            self._partial_bytes = 0
+            self._arm_progress_timer(conn)
         for item in parsed:
             self._start_request(conn, item.message)
+
+    # -- slow-loris guard ------------------------------------------------------
+    def _arm_progress_timer(self, conn: TcpConnection) -> None:
+        deadline = self.server.progress_deadline
+        if deadline is None:
+            return
+        if self._progress_timer is not None:
+            self._progress_timer.cancel()
+        self._progress_timer = self.server.loop.call_later(
+            deadline, self._progress_expired, conn
+        )
+
+    def _progress_expired(self, conn: TcpConnection) -> None:
+        self._progress_timer = None
+        if not conn.state.can_send:
+            return
+        if self._partial_bytes == 0:
+            # an idle keep-alive connection is not a slow client; keep
+            # watching in case a trickled request starts later
+            self._arm_progress_timer(conn)
+            return
+        err = SlowClientTimeout(str(conn.remote), self.server.progress_deadline)
+        self.server.slow_client_timeouts += 1
+        self.server.slow_clients.append(err)
+        conn.abort("slow-client")
+
+    def on_closed(self, conn: TcpConnection) -> None:
+        if self._progress_timer is not None:
+            self._progress_timer.cancel()
+            self._progress_timer = None
+
+    def on_error(self, conn: TcpConnection, reason: str) -> None:
+        self.on_closed(conn)
 
     def _start_request(self, conn: TcpConnection, request: HttpRequest) -> None:
         req_id = self._next_id
@@ -180,10 +281,18 @@ class _ServerConnection(ConnectionHandler):
         self.server.requests_served += 1
         self.server.bytes_served += len(response.body)
         self._obs_finish(req_id, response)
-        self._ready[req_id] = response.serialize()
+        self._ready[req_id] = self._serialize(response)
         if not keep_alive:
             self._closing = True
         self._flush(conn)
+
+    def _serialize(self, response: HttpResponse) -> object:
+        data = response.serialize()
+        interval = response.headers.get("X-Stream-Interval")
+        if interval is not None:
+            chunk = int(response.headers.get("X-Stream-Chunk") or "1460")
+            return _PacedBody(data, chunk, float(interval))
+        return data
 
     def _obs_finish(self, req_id: int, response: HttpResponse) -> None:
         span = self._obs_spans.pop(req_id, None)
@@ -196,13 +305,33 @@ class _ServerConnection(ConnectionHandler):
 
     def _flush(self, conn: TcpConnection) -> None:
         """Send completed responses strictly in arrival order."""
-        while self._next_to_send in self._ready:
+        while not self._streaming and self._next_to_send in self._ready:
             data = self._ready.pop(self._next_to_send)
+            if isinstance(data, _PacedBody):
+                # a paced response blocks the pipeline until delivered
+                self._streaming = True
+                self._pace(conn, data, 0)
+                break
             self._next_to_send += 1
             if conn.state.can_send:
                 conn.send(data)
-        if self._closing and not self._pending and conn.state.can_send:
+        if (self._closing and not self._pending and not self._streaming
+                and conn.state.can_send):
             conn.close()
+
+    def _pace(self, conn: TcpConnection, paced: _PacedBody, offset: int) -> None:
+        if not conn.state.can_send:
+            self._streaming = False
+            return
+        end = min(offset + paced.chunk, len(paced.data))
+        conn.send(paced.data[offset:end])
+        if end < len(paced.data):
+            self.server.loop.call_later(paced.interval, self._pace, conn,
+                                        paced, end)
+        else:
+            self._streaming = False
+            self._next_to_send += 1
+            self._flush(conn)
 
     def on_remote_close(self, conn: TcpConnection) -> None:
         if not self._pending:
@@ -231,6 +360,8 @@ class _TlsServerConnection(_ServerConnection):
         super().__init__(server)
         self.codec = tls.TlsCodec()
         self.established = False
+        self._sni = ""
+        self._resumed = False
 
     def on_data(self, conn: TcpConnection, data: bytes) -> None:
         try:
@@ -240,9 +371,22 @@ class _TlsServerConnection(_ServerConnection):
             return
         for rtype, payload in records:
             if rtype == tls.CLIENT_HELLO:
-                conn.send(tls.certificate_flight(self.server.tls_certificate))
+                self._sni, ticket = tls.parse_hello(payload)
+                self._resumed = (ticket is not None
+                                 and self.server.session_tickets)
+                if self._resumed:
+                    # abbreviated handshake: YODA validated the ticket
+                    # against the flow store before any byte reached us
+                    conn.send(tls.session_ticket(ticket))
+                else:
+                    conn.send(
+                        tls.certificate_flight(self.server.tls_certificate))
             elif rtype == tls.KEY_EXCHANGE:
                 self.established = True
+                if self.server.session_tickets and not self._resumed:
+                    # deterministic ticket: the YODA instance mints the
+                    # same one, so our replayed flight stays byte-identical
+                    conn.send(tls.session_ticket(tls.ticket_for(self._sni)))
             elif rtype == tls.APP_DATA:
                 try:
                     parsed = self.parser.feed(payload)
@@ -259,7 +403,7 @@ class _TlsServerConnection(_ServerConnection):
         self.server.requests_served += 1
         self.server.bytes_served += len(response.body)
         self._obs_finish(req_id, response)
-        self._ready[req_id] = tls.app_data(response.serialize())
+        self._ready[req_id] = tls.app_data(response.serialize())  # no pacing over TLS
         if not keep_alive:
             self._closing = True
         self._flush(conn)

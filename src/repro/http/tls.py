@@ -33,6 +33,7 @@ CERTIFICATE = 0x02
 KEY_EXCHANGE = 0x03
 APP_DATA = 0x04
 RETRY_PING = 0x05  # client nudge when a handshake stalls (triggers recovery)
+SESSION_TICKET = 0x06  # resumption ticket (issued after KEY_EXCHANGE)
 
 _HEADER = struct.Struct("!BIx")  # type, length, pad -> 6 bytes
 
@@ -58,8 +59,39 @@ def encode_record(rtype: int, payload: bytes) -> bytes:
     return _HEADER.pack(rtype, len(payload)) + payload
 
 
-def client_hello(sni: str) -> bytes:
-    return encode_record(CLIENT_HELLO, sni.encode())
+def client_hello(sni: str, ticket: Optional[str] = None) -> bytes:
+    """A hello, optionally carrying a resumption ticket.
+
+    The ticket rides inside the hello payload so a resuming handshake is
+    still a single record -- the instance decides full vs. abbreviated
+    before any response byte is committed.
+    """
+    payload = sni if ticket is None else f"{sni}|tkt={ticket}"
+    return encode_record(CLIENT_HELLO, payload.encode())
+
+
+def parse_hello(payload: bytes) -> Tuple[str, Optional[str]]:
+    """Split a CLIENT_HELLO payload into (sni, ticket-or-None)."""
+    text = payload.decode()
+    if "|tkt=" in text:
+        sni, _, ticket = text.partition("|tkt=")
+        return sni, ticket
+    return text, None
+
+
+def ticket_for(sni: str) -> str:
+    """The deterministic session ticket for a service.
+
+    Determinism matters for the same reason the hashed SYN-ACK ISN does:
+    the instance's handshake flight and the backend's replayed duplicate
+    of it must be byte-identical, so both must mint the *same* ticket
+    without coordinating.
+    """
+    return f"{stable_hash64(f'ticket:{sni}', salt='tls-ticket'):016x}"
+
+
+def session_ticket(ticket: str) -> bytes:
+    return encode_record(SESSION_TICKET, ticket.encode())
 
 
 def key_exchange(sni: str) -> bytes:
@@ -105,7 +137,7 @@ class TlsCodec:
         while len(self._buf) >= _HEADER.size:
             rtype, length = _HEADER.unpack_from(self._buf)
             if rtype not in (CLIENT_HELLO, CERTIFICATE, KEY_EXCHANGE,
-                             APP_DATA, RETRY_PING):
+                             APP_DATA, RETRY_PING, SESSION_TICKET):
                 raise HttpError(f"bad TLS record type 0x{rtype:02x}")
             total = _HEADER.size + length
             if len(self._buf) < total:

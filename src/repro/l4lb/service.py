@@ -40,6 +40,8 @@ class L4LoadBalancer:
         num_muxes: int = 4,
         mapping_propagation: float = 0.2,
         router_ip: str = "10.255.0.1",
+        router_name: str = "l4-router",
+        site: str = "dc",
     ):
         if num_muxes < 1:
             raise NetworkError("need at least one mux")
@@ -47,7 +49,7 @@ class L4LoadBalancer:
         self.network = network
         self.rng = rng.fork("l4lb")
         self.mapping_propagation = mapping_propagation
-        self.router = network.attach(Host("l4-router", [router_ip], site="dc"))
+        self.router = network.attach(Host(router_name, [router_ip], site=site))
         self.router.set_handler(self._on_packet)
         self.muxes: List[L4Mux] = [L4Mux(self, i) for i in range(num_muxes)]
         self.snat = SnatAllocator()

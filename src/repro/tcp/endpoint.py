@@ -251,6 +251,17 @@ class TcpConnection:
         self._teardown()
         self.handler.on_error(self, reason)
 
+    def probe(self) -> None:
+        """Send a pure ACK at the current position (a keepalive nudge).
+
+        Long-lived clients use this when a stream stalls: at the LB the
+        unknown-flow ACK is exactly what triggers client-side flow
+        recovery, so a download whose instance died resumes without
+        waiting for a retransmission timer.
+        """
+        if self.state.synchronized:
+            self._send_ack()
+
     @property
     def established(self) -> bool:
         return self.state is TcpState.ESTABLISHED

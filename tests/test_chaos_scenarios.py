@@ -30,8 +30,11 @@ class TestLibrary:
         assert len(BUILTIN_SCENARIOS) >= 6
 
     def test_every_builtin_includes_a_crash(self):
+        # something must die in every scenario; a region kill crashes
+        # every host in the site at once
         for scenario in BUILTIN_SCENARIOS.values():
-            assert any(f.kind in ("crash", "flap") for f in scenario.faults)
+            assert any(f.kind in ("crash", "flap", "region_kill")
+                       for f in scenario.faults)
 
     def test_get_scenario_unknown_raises(self):
         with pytest.raises(KeyError, match="store-partition"):

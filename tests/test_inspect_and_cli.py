@@ -74,9 +74,9 @@ class TestCli:
             main(["run", "fig99"])
 
     def test_every_experiment_registered(self):
-        # one CLI entry per paper table/figure (+ the CPU section and the
-        # qos flash-crowd ablation)
+        # one CLI entry per paper table/figure (+ the CPU section, the
+        # qos flash-crowd ablation and the multi-region failover study)
         expected = {"table1", "fig6", "fig9", "sec71", "fig10", "fig12",
                     "fig12b", "fig13", "fig14", "fig15", "fig16",
-                    "overload"}
+                    "overload", "failover"}
         assert set(EXPERIMENTS) == expected
