@@ -9,6 +9,8 @@ expressible without knowing instance names up front:
 - ``"lb:<i>"``       -- the i-th L7 LB instance (YODA or HAProxy)
 - ``"store:<i>"``    -- the i-th TCPStore server (no-op for HAProxy beds)
 - ``"backend:<i>"``  -- the i-th backend web server
+- ``"ctl:leader"``   -- the controller replica currently holding the lease
+- ``"ctl:<i>"``      -- the i-th controller replica (HA beds only)
 - anything else      -- a raw host name or site name (path endpoints only)
 
 Path faults (``loss``, ``duplicate``, ``latency_spike``, ``partition``)
@@ -34,7 +36,8 @@ class FaultSpec:
     ``duration`` makes the fault auto-revert (heal, recover, speed up)."""
 
     # partition|loss|duplicate|latency|crash|flap|slow_cpu|probe_loss|
-    # surge|drain|region_kill
+    # surge|drain|region_kill|controller_kill|controller_partition|
+    # lease_store_outage
     kind: str
     at: float
     duration: Optional[float] = None
@@ -54,6 +57,8 @@ class FaultSpec:
             where = self.target
         elif self.kind == "surge":
             where = "clients"
+        elif self.kind == "lease_store_outage":
+            where = "lease store"
         elif self.src is not None:
             where = f"{self.src}->{self.dst}"
         else:
@@ -137,6 +142,37 @@ def region_kill(at: float, site: str) -> FaultSpec:
     return FaultSpec(kind="region_kill", at=at, target=site)
 
 
+def controller_kill(at: float, target: str = "ctl:leader",
+                    duration: Optional[float] = None) -> FaultSpec:
+    """Kill a controller replica (its elector, monitor and drains stop
+    with it).  ``"ctl:leader"`` resolves to whoever holds the lease at
+    fire time.  Without a duration the replica stays dead -- with three
+    replicas that is how you force a real takeover.  Vacuous on beds
+    without controller HA."""
+    return FaultSpec(kind="controller_kill", at=at, target=target,
+                     duration=duration)
+
+
+def controller_partition(at: float, target: str = "ctl:leader",
+                         duration: Optional[float] = None) -> FaultSpec:
+    """Cut one controller replica off from the lease store while its VM
+    stays up.  Its omniscient probes and mapping pushes keep running --
+    only lease renewals vanish -- so with a nonzero ``stepdown_grace``
+    this manufactures the dueling-leader window the fence gates exist
+    for."""
+    return FaultSpec(kind="controller_partition", at=at, target=target,
+                     duration=duration)
+
+
+def lease_store_outage(at: float,
+                       duration: Optional[float] = None) -> FaultSpec:
+    """Sever *every* controller replica from the lease store at once.
+    Nobody can renew or claim; the acting leader must keep acting on its
+    unexpired lease (availability-first) and the data plane must stay
+    statically stable if the lease does lapse."""
+    return FaultSpec(kind="lease_store_outage", at=at, duration=duration)
+
+
 def wan_partition(at: float, a: str, b: str,
                   duration: Optional[float] = None) -> FaultSpec:
     """Sever the WAN between two sites.  Both sides stay up and keep
@@ -170,7 +206,27 @@ def resolve_target(bed, selector: str):
         return servers[int(arg)] if int(arg) < len(servers) else None
     if kind == "backend":
         return bed.backends.get(f"srv-{arg}")
+    if kind == "ctl":
+        return _resolve_controller(bed, arg)
     raise SimulationError(f"unknown fault target {selector!r}")
+
+
+def _resolve_controller(bed, arg: str):
+    """Resolve ``ctl:leader`` / ``ctl:<i>`` to a ControllerReplica.
+    None when the bed has no replicated control plane (the fault is then
+    vacuous, like store faults on an HAProxy bed)."""
+    rs = getattr(bed.yoda, "replica_set", None) if bed.yoda is not None else None
+    if rs is None or not rs.replicas:
+        return None
+    if arg == "leader":
+        acting = rs.acting_replica()
+        if acting is not None:
+            return acting
+        # leaderless at fire time: hit whoever held the lease last, so
+        # back-to-back leader kills land on successive leaders
+        return rs._last_active or rs.replicas[0]
+    idx = int(arg)
+    return rs.replicas[idx] if idx < len(rs.replicas) else None
 
 
 def resolve_path_endpoint(bed, selector: str) -> Optional[str]:
@@ -281,11 +337,57 @@ def apply_fault(bed, spec: FaultSpec) -> AppliedFault:
             for instance in pools:
                 if instance.host.site == site and not instance.host.failed:
                     instance.fail()
+            # controller replicas die with their region through their own
+            # fail() (elector + monitor + drains stop); a bare host.fail()
+            # would leave a dead leader's omniscient probes running
+            rs = getattr(bed.yoda, "replica_set", None)
+            if rs is not None:
+                for replica in rs.replicas:
+                    if replica.host.site == site and not replica.host.failed:
+                        replica.fail()
         for host in list(net.hosts()):
             if host.site == site and not host.failed:
                 host.fail()
         # permanent: a dead region stays dead (revert=None)
         return AppliedFault(spec, target_name=site)
+    if spec.kind == "controller_kill":
+        replica = resolve_target(bed, spec.target)
+        if replica is None:
+            return AppliedFault(spec)
+        replica.fail()
+        return AppliedFault(spec, revert=replica.recover,
+                            target_name=replica.host.name)
+    if spec.kind == "controller_partition":
+        replica = resolve_target(bed, spec.target)
+        if replica is None:
+            return AppliedFault(spec)
+        # cut the replica off from every site holding a lease server; its
+        # host stays up, so omniscient control actions keep firing -- the
+        # live-stale-leader case the fence gates exist for
+        sites = sorted({s.host.site
+                        for s in bed.yoda.lease_cluster.servers.values()})
+        name = replica.host.name
+        for site in sites:
+            net.partition(name, site)
+
+        def _heal_ctl():
+            for site in sites:
+                net.heal(name, site)
+        return AppliedFault(spec, revert=_heal_ctl, target_name=name)
+    if spec.kind == "lease_store_outage":
+        rs = getattr(bed.yoda, "replica_set", None) if bed.yoda else None
+        if rs is None or not rs.replicas:
+            return AppliedFault(spec)
+        pairs = [(r.host.name, s.host.name)
+                 for r in rs.replicas
+                 for s in bed.yoda.lease_cluster.servers.values()]
+        for a, b in pairs:
+            net.partition(a, b)
+
+        def _heal_lease():
+            for a, b in pairs:
+                net.heal(a, b)
+        return AppliedFault(spec, revert=_heal_lease, target_name="lease-store")
     if spec.kind == "drain":
         if bed.yoda is None:
             return AppliedFault(spec)  # HAProxy scale-in just drops flows

@@ -571,6 +571,111 @@ class EstablishedFlowsSurviveRegionFailover:
         )
 
 
+class AtMostOneActingLeader:
+    """Controller HA's safety half: fencing must make leadership changes
+    look atomic to the receivers.  Audited from the fence-gate logs, not
+    from the electors' self-reported state -- two replicas may *believe*
+    they lead (that is what ``stepdown_grace`` manufactures), but the
+    moment their effects interleave at a receiver the gates must have
+    serialized them:
+
+    - per gate, the accepted-entry epoch sequence never regresses;
+    - globally, one epoch never acts through two different holders
+      (epochs are fenced lease versions, so a second holder at the same
+      epoch means the lease store handed out the same term twice).
+
+    The replica set's own election log is swept for the same property
+    (two overlapping ``active`` reigns at one epoch)."""
+
+    invariant = "at-most-one-acting-leader"
+
+    def finalize(self, replica_set) -> Verdict:
+        checks = 0
+        violations: List[Violation] = []
+        holder_by_epoch: Dict[int, str] = {}
+
+        def _claim(epoch: int, holder: str, time: float, where: str) -> None:
+            seen = holder_by_epoch.setdefault(epoch, holder)
+            if seen != holder:
+                violations.append(Violation(
+                    self.invariant, time, where,
+                    f"epoch {epoch} acted through two holders: "
+                    f"{seen!r} and {holder!r}",
+                    forensics=_forensics_tail(),
+                ))
+
+        for gate in replica_set.gates():
+            high = -1
+            for time, epoch, holder, kind, accepted in gate.log:
+                if not accepted:
+                    continue
+                checks += 1
+                if epoch < high:
+                    violations.append(Violation(
+                        self.invariant, time, gate.name,
+                        f"accepted {kind} at epoch {epoch} after already "
+                        f"accepting epoch {high} -- fencing regressed",
+                        forensics=_forensics_tail(),
+                    ))
+                high = max(high, epoch)
+                _claim(epoch, holder, time, gate.name)
+        for time, event, name, epoch in replica_set.events:
+            if event == "active":
+                checks += 1
+                _claim(epoch, name, time, "election-log")
+        return Verdict(
+            invariant=self.invariant,
+            ok=not violations,
+            checked=checks,
+            violations=violations[:MAX_VIOLATIONS_KEPT],
+            violation_count=len(violations),
+        )
+
+
+class ControlPlaneStaticStability:
+    """Controller HA's liveness half: the data plane must not need a
+    leader to keep moving bytes.  Every stream established *before* a
+    leaderless window opened must still run to completion -- muxes keep
+    their last pushed mappings, instances keep serving, TCPStore keeps
+    answering, and only *reconfiguration* (remaps, drains, promotion)
+    waits for the next leader.  Streams first established inside or
+    after a window are ordinary new work, audited by the other
+    invariants."""
+
+    invariant = "control-plane-static-stability"
+
+    def finalize(self, clients,
+                 windows: List) -> Verdict:
+        checks = 0
+        violations: List[Violation] = []
+        starts = [w[0] for w in windows]
+        for client in clients:
+            r = client.result
+            if r.established_at is None:
+                continue
+            overlapped = [s for s in starts if s > r.established_at]
+            if not overlapped:
+                continue  # never lived through a leaderless moment
+            checks += 1
+            if not r.complete:
+                first = min(overlapped)
+                violations.append(Violation(
+                    self.invariant, r.finished_at or first, r.path,
+                    f"stream established at {r.established_at:.3f}s broke "
+                    f"after the control plane went leaderless at "
+                    f"{first:.3f}s: {r.bytes_received}/{r.bytes_expected} "
+                    f"bytes, error={r.error}",
+                    forensics=_forensics_tail(),
+                ))
+        return Verdict(
+            invariant=self.invariant,
+            ok=not violations,
+            checked=checks,
+            violations=violations[:MAX_VIOLATIONS_KEPT],
+            violation_count=len(violations),
+        )
+
+
 class NoSplitBrainPromotion:
     """A WAN partition must never masquerade as a region death: the
     controller may promote the standby region only when the primary is

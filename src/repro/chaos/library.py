@@ -14,11 +14,14 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.chaos.faults import (
+    controller_kill,
+    controller_partition,
     crash,
     drain,
     duplicate,
     flap,
     latency_spike,
+    lease_store_outage,
     loss,
     partition,
     probe_loss,
@@ -285,6 +288,90 @@ _register(Scenario(
     streams=4,
     standby_site="dc2",
     drain=10.0,
+))
+
+
+_register(Scenario(
+    name="ctrl-leader-kill-mid-drain",
+    description=(
+        "The lease-holding controller is killed for good while a drain "
+        "it started is still in flight, then a serving instance crashes. "
+        "A follower must win the next lease epoch, replay the journal, "
+        "finish the old leader's drain on the old leader's deadline, and "
+        "handle the crash -- while the data plane rides out the "
+        "leaderless window untouched."
+    ),
+    faults=[
+        drain(2.5, "lb:0", deadline=7.0),
+        controller_kill(3.0, "ctl:leader"),
+        crash(6.5, "lb:serving"),
+    ],
+    streams=4,
+    num_controllers=3,
+))
+
+_register(Scenario(
+    name="ctrl-leader-kill-mid-failover",
+    description=(
+        "The primary region dies -- and the lease-holding controller "
+        "dies with it, because controller replicas are hosts in a "
+        "region, not omniscient daemons.  The standby-site replica must "
+        "win the lease against a store cluster that is half gone, "
+        "replay the journal, detect the region death and promote the "
+        "standby -- resuming every established stream.  This is the "
+        "region-kill scenario without the singleton controller's "
+        "immortality assumption."
+    ),
+    faults=[
+        region_kill(3.0, "dc"),
+    ],
+    clients=0,  # page clients cannot outlive their region; streams can
+    streams=6,
+    duration=12.0,
+    drain=12.0,
+    standby_site="dc2",
+    num_controllers=3,
+))
+
+_register(Scenario(
+    name="ctrl-partition-dueling-leader",
+    description=(
+        "The lease holder is cut off from the lease store while its VM "
+        "stays up, with a 2 s step-down grace: it keeps acting on its "
+        "stale lease while a follower claims the next epoch -- two live "
+        "controllers, both pushing.  The fence gates must serialize the "
+        "duel (the old epoch's pushes bounce) and the instance crash in "
+        "the middle must be recovered exactly once, by the new leader."
+    ),
+    faults=[
+        controller_partition(2.0, "ctl:leader", duration=6.0),
+        crash(4.5, "lb:serving"),
+    ],
+    streams=4,
+    num_controllers=3,
+    stepdown_grace=2.0,
+))
+
+_register(Scenario(
+    name="ctrl-rolling-restart",
+    description=(
+        "Operational churn: one leader restarts, the lease store goes "
+        "dark for a spell (nobody can renew or claim), then the next "
+        "leader restarts too, with an instance crash landing right "
+        "inside the last takeover.  Long streams must ride through "
+        "every handoff; each new leader resumes from the journal."
+    ),
+    faults=[
+        controller_kill(2.0, "ctl:leader", duration=3.0),
+        lease_store_outage(6.0, duration=1.5),
+        controller_kill(10.0, "ctl:leader", duration=3.0),
+        crash(11.5, "lb:serving"),
+    ],
+    streams=4,
+    stream_chunks=120,  # ~12 s: alive across both leader restarts
+    duration=14.0,
+    drain=10.0,
+    num_controllers=3,
 ))
 
 

@@ -23,6 +23,8 @@ from typing import Dict, List, Optional
 
 from repro.chaos.faults import AppliedFault, FaultSpec, apply_fault
 from repro.chaos.invariants import (
+    AtMostOneActingLeader,
+    ControlPlaneStaticStability,
     EstablishedFlowsSurviveRegionFailover,
     InvariantMonitor,
     NoAcceptedRequestDropped,
@@ -55,6 +57,10 @@ class Scenario:
     # -- multi-region (None = the historical single-site scenario) --
     standby_site: Optional[str] = None  # e.g. "dc2": build a second region
     replication: bool = True  # cross-site flow-store shipping (ablation)
+    # -- controller HA (0 = the historical singleton controller) --
+    num_controllers: int = 0  # lease-elected controller replicas
+    lease_ttl: float = 1.5
+    stepdown_grace: float = 0.0  # how long a cut-off leader keeps acting
     # long-lived streaming downloads riding alongside the page workload;
     # the region-failover invariant audits the ones established pre-kill
     streams: int = 0
@@ -167,6 +173,9 @@ class ScenarioEngine:
             qos=s.qos_config if self.lb == "yoda" else None,
             standby_site=s.standby_site,
             replication=self.replication,
+            num_controllers=s.num_controllers if self.lb == "yoda" else 0,
+            lease_ttl=s.lease_ttl,
+            stepdown_grace=s.stepdown_grace,
         ))
         self.monitor = InvariantMonitor(self.bed)
         self.bed.network.add_trace(self.monitor)
@@ -217,6 +226,12 @@ class ScenarioEngine:
         if s.standby_site is not None and controller is not None:
             verdicts.append(NoSplitBrainPromotion().finalize(
                 controller, region_killed=self._region_kill_time is not None))
+        replica_set = bed.yoda.replica_set if bed.yoda is not None else None
+        if replica_set is not None:
+            verdicts.append(AtMostOneActingLeader().finalize(replica_set))
+            verdicts.append(ControlPlaneStaticStability().finalize(
+                self.fleet.clients if self.fleet is not None else [],
+                replica_set.leaderless_windows(bed.loop.now())))
         return ScenarioOutcome(
             scenario=s.name,
             lb=self.lb,
@@ -256,7 +271,8 @@ class ScenarioEngine:
         are permanent -- a dead VM stays dead, which is exactly what the
         YODA-vs-HAProxy contrast hinges on."""
         for applied in self.applied:
-            if applied.revert is not None and applied.spec.kind != "crash":
+            if (applied.revert is not None
+                    and applied.spec.kind not in ("crash", "controller_kill")):
                 applied.revert()
                 applied.revert = None
         self.bed.network.heal()

@@ -34,6 +34,7 @@ from repro.experiments import (
     fig14,
     fig15,
     fig16,
+    fig_ctrl,
     fig_failover,
     fig_overload,
     table1,
@@ -100,6 +101,11 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         lambda seed: fig_failover.run(seed=seed),
         lambda seed: fig_failover.run_quick(seed=seed),
     ),
+    "ctrl": (
+        "controller HA: outage window, crash repair, single-ctl ablation",
+        lambda seed: fig_ctrl.run(seed=seed),
+        lambda seed: fig_ctrl.run_quick(seed=seed),
+    ),
     "fig14": (
         "make-before-break policy updates",
         lambda seed: fig14.run(seed=seed),
@@ -147,6 +153,11 @@ def main(argv=None) -> int:
                         help="disable cross-site flow-store replication -- "
                              "the multi-region ablation (established "
                              "flows cannot survive a region kill)")
+    chaosp.add_argument("--single-controller", action="store_true",
+                        help="run with one controller replica instead of "
+                             "the scenario's HA set -- the controller "
+                             "ablation (a leader kill leaves the control "
+                             "plane down for good)")
     obsp = sub.add_parser(
         "obs", help="run a short traced workload (with a mid-run LB crash) "
                     "and emit the observability report")
@@ -251,7 +262,10 @@ def _run_chaos(args) -> int:
         started = time.perf_counter()
         repair = not args.no_repair
         replication = False if args.no_replication else None
-        if args.no_baseline or args.no_replication:
+        if args.single_controller:
+            import dataclasses
+            scenario = dataclasses.replace(scenario, num_controllers=1)
+        if args.no_baseline or args.no_replication or args.single_controller:
             # the replication ablation is a YODA-only knob; contrasting
             # it against HAProxy would compare different deployments
             outcomes = {"yoda": run_scenario(scenario, lb="yoda",

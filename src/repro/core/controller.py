@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.instance import YodaInstance
 from repro.core.policy import VipPolicy
-from repro.errors import ControllerError
+from repro.errors import ControllerError, StaleLeaderEpoch
 from repro.http.server import BackendHttpServer
 from repro.kvstore.client import MemcachedCluster
 from repro.kvstore.sitesync import SiteReplicator
@@ -99,6 +99,15 @@ class ControllerHealthView:
         self._load.pop(backend, None)
         self._fail_streak.pop(backend, None)
         self._ok_streak.pop(backend, None)
+
+    def assume(self, backend: str, healthy: bool) -> None:
+        """Seed a verdict without hysteresis: a newly elected controller
+        bootstraps its view from current truth so the first monitor round
+        after a takeover cannot re-admit a dead target (the hysteresis
+        default for unknown targets is healthy)."""
+        self._healthy[backend] = healthy
+        self._fail_streak[backend] = 0
+        self._ok_streak[backend] = 0
 
 
 @dataclass
@@ -179,6 +188,14 @@ class YodaController:
         self.failed_over = False
         self.failover_at: Optional[float] = None
         self.failover_records_lost = 0
+        # controller HA (core.leader): all None/identity in the
+        # single-controller configuration, where this controller always
+        # acts, never journals, and pushes token-free control calls.
+        # ControllerReplica wires these when the control plane replicates.
+        self.token = None            # LeaderToken while acting leader
+        self.acting_fn = None        # replica's "may I act?" gate
+        self.journal = None          # ControlJournal (durable state)
+        self.on_fenced = None        # step-down hook on a rejected push
 
         if self.kv_cluster is not None:
             # account every store-membership transition (epoch bumps feed
@@ -194,6 +211,188 @@ class YodaController:
         probe_interval = monitor_interval / max(1, down_after)
         self._monitor = PeriodicTask(loop, probe_interval, self._monitor_tick)
         self._monitor.start()
+
+    # ------------------------------------------------------------ leadership --
+    def acting(self) -> bool:
+        """May this controller mutate the data plane right now?  Always
+        true in the single-controller configuration; under HA, only while
+        this replica holds the lease and has finished journal replay."""
+        return self.acting_fn is None or self.acting_fn()
+
+    def halt(self) -> None:
+        """Stop every periodic activity (the controller process died)."""
+        self._monitor.stop()
+        if self._scaler is not None:
+            self._scaler.stop()
+        if self._drainer is not None:
+            self._drainer.halt()
+
+    def resume_monitoring(self) -> None:
+        """Restart periodic activity after a crash-recovery.  Drains are
+        NOT resumed here: if this replica is re-elected it replays them
+        from the journal; if another replica leads, they are not ours."""
+        if not self._monitor.running:
+            self._monitor.start()
+        if self._scaler is not None and self._autoscale is not None \
+                and not self._scaler.running:
+            self._scaler.start()
+
+    def journal_sync(self) -> None:
+        """Persist the control-plane state after a mutation (leaders
+        only; free in the single-controller configuration)."""
+        if self.journal is None or self.token is None:
+            return
+        token = self.token
+
+        def _done(ok: bool, superseded: bool) -> None:
+            if superseded and self.token is token and self.on_fenced is not None:
+                # a newer leader owns the journal: the store itself just
+                # fenced us out; surface it like any rejected push
+                self.on_fenced(StaleLeaderEpoch(
+                    "yoda:ctl:journal", "journal_write", token.epoch,
+                    token.holder, token.epoch + 1, "a newer leader"))
+
+        self.journal.write(self._journal_state(), _done)
+
+    def _journal_state(self) -> Dict:
+        """The JSON snapshot a successor replays: operator progress, not
+        operator intent (intent lives in the replica set's registry)."""
+        drains = {}
+        if self._drainer is not None:
+            for name, st in self._drainer.drains.items():
+                if not st.done:
+                    drains[name] = {
+                        "started_at": st.started_at,
+                        "deadline_at": st.deadline_at,
+                        "flows_at_start": st.flows_at_start,
+                        "to_spare": st.to_spare,
+                    }
+        counters = {}
+        for key in ("drains_started", "drains_completed", "drains_forced",
+                    "scaled_up", "scaled_down", "region_failovers",
+                    "instances_added", "instances_removed"):
+            if key in self.metrics.counters:
+                counters[key] = self.metrics.counters[key].value
+        return {
+            "epoch": self.token.epoch if self.token is not None else -1,
+            "holder": self.token.holder if self.token is not None else "",
+            "assignments": {vip: list(names)
+                            for vip, names in self.assignments.items()},
+            "active": {n: bool(v) for n, v in self.active.items()},
+            "draining": drains,
+            "spares": sorted(s.name for s in self.spares),
+            "failed_over": self.failed_over,
+            "failover_at": self.failover_at,
+            "failover_records_lost": self.failover_records_lost,
+            "counters": counters,
+        }
+
+    def take_over(self, token, state: Optional[Dict], registry) -> None:
+        """Become the acting leader: hydrate from operator intent
+        (``registry``) plus the previous leader's journal (``state``),
+        then re-push everything with our lease epoch -- the re-push is
+        what fences the data plane against the old leader.
+
+        Mid-flight work is *resumed*, not restarted: drains keep their
+        original absolute deadlines, and a completed region failover is
+        adopted (the standby stays promoted) rather than re-promoted.
+        """
+        self.token = token
+        prev = state or {}
+        # 0. region failover the old leader already performed: adopt it
+        if prev.get("failed_over") and not self.failed_over \
+                and self._standby is not None:
+            standby = self._standby
+            if standby.replicator is not None:
+                if standby.replicator.promoted:
+                    self.failover_records_lost = prev.get(
+                        "failover_records_lost", 0)
+                else:
+                    self.failover_records_lost = standby.replicator.promote()
+            if standby.kv_cluster is not None:
+                self.kv_cluster = standby.kv_cluster
+                standby.kv_cluster.add_listener(self._on_kv_membership)
+            self.l4lb = standby.l4lb
+            for instance in standby.instances:
+                if instance.name not in self.instances:
+                    self._adopt(instance)
+            self.failed_over = True
+            self.failover_at = prev.get("failover_at")
+        # 1. operator intent: every service the operator declared exists
+        for policy, backends, instance_names in list(registry.services.values()):
+            if policy.vip not in self.policies:
+                self.policies[policy.vip] = policy
+                if backends:
+                    self.backends.update(backends)
+                names = [n for n in (instance_names or list(self.instances))
+                         if n in self.instances]
+                self.assignments[policy.vip] = names
+        for name, spare in registry.spare_pool.items():
+            if name not in self.instances \
+                    and all(s.name != name for s in self.spares):
+                journal_spares = prev.get("spares")
+                if journal_spares is None or name in journal_spares:
+                    spare.backend_view = self.health_view
+                    self.spares.append(spare)
+        # 2. journal progress overrides intent
+        for vip, names in prev.get("assignments", {}).items():
+            if vip in self.policies:
+                self.assignments[vip] = [n for n in names
+                                         if n in self.instances]
+        for name, is_active in prev.get("active", {}).items():
+            if name in self.active:
+                self.active[name] = bool(is_active)
+        # 3. bootstrap liveness from current truth (an immediate probe
+        # round) and re-bind the shared data-plane objects to OUR views:
+        # each replica constructed its own health view, but only the
+        # leader's is fed by a running monitor
+        for name, instance in self.instances.items():
+            up = not instance.host.failed
+            self._instance_alive[name] = up
+            self._instance_health.assume(name, up)
+            instance.backend_view = self.health_view
+        # backends too: a recovered stream probing in our first seconds
+        # consults _backend_dead() through this view, and the unknown->
+        # healthy default would tunnel it into a dead backend for good
+        for bname, server in self.backends.items():
+            self.health_view.assume(bname, not server.host.failed)
+        # 4. re-install rules and re-anchor VIPs, fencing as we go
+        for vip, policy in self.policies.items():
+            self.l4lb.register_vip(vip, token=self.token)
+            for name in self.assignments.get(vip, []):
+                instance = self.instances.get(name)
+                if instance is not None and not instance.host.failed:
+                    instance.install_policy(policy, token=self.token)
+        # 5. resume the old leader's unfinished drains on their original
+        # absolute deadlines
+        for name, info in prev.get("draining", {}).items():
+            instance = self.instances.get(name)
+            if instance is None:
+                continue
+            self.draining.add(name)
+            if not instance.host.failed:
+                instance.start_drain(token=self.token)
+            if self._drainer is None:
+                self._drainer = DrainCoordinator(self.loop, self,
+                                                 self.drain_check_interval)
+            self._drainer.resume(
+                name, started_at=info.get("started_at", self.loop.now()),
+                deadline_at=info["deadline_at"],
+                flows_at_start=info.get("flows_at_start", 0),
+                to_spare=info.get("to_spare", False),
+            )
+        # 6. the fencing push: every mapping goes out at our epoch, so
+        # anything the old leader still says is rejected from here on
+        for vip in self.policies:
+            self._push_mapping(vip)
+        # 7. counters carry across leaderships (monotonic adoption)
+        for key, value in prev.get("counters", {}).items():
+            counter = self.metrics.counter(key)
+            if value > counter.value:
+                counter.inc(value - counter.value)
+        self.metrics.counter("takeovers").inc()
+        self.metrics.gauge("leader_epoch").set(float(token.epoch))
+        self.journal_sync()
 
     # ------------------------------------------------------------ instances --
     def _adopt(self, instance: YodaInstance) -> None:
@@ -211,10 +410,11 @@ class YodaController:
         self._adopt(instance)
         if assign_all_vips:
             for vip, policy in self.policies.items():
-                instance.install_policy(policy)
+                instance.install_policy(policy, token=self.token)
                 self.assignments[vip].append(instance.name)
                 self._push_mapping(vip)
         self.metrics.counter("instances_added").inc()
+        self.journal_sync()
 
     def add_spare(self, instance: YodaInstance) -> None:
         """Register a provisioned-but-idle instance for the autoscaler."""
@@ -232,7 +432,20 @@ class YodaController:
             if name in assigned:
                 assigned.remove(name)
                 self._push_mapping(vip, flush_instance=self.instances[name].ip)
+        self._forget_instance(name)
         self.metrics.counter("instances_removed").inc()
+        self.journal_sync()
+
+    def _forget_instance(self, name: str) -> None:
+        """Drop every controller-side trace of an instance that left the
+        deployment.  Leaving ghost entries behind (the pre-HA behaviour)
+        both distorted the monitor's health view and made a later re-add
+        of the same instance -- the autoscaler's drain-to-spare round trip
+        -- fail as a duplicate."""
+        self.instances.pop(name, None)
+        self.active.pop(name, None)
+        self._instance_alive.pop(name, None)
+        self._instance_health.forget(name)
 
     def live_instance_names(self, vip: Optional[str] = None) -> List[str]:
         names = self.assignments.get(vip, list(self.instances)) if vip \
@@ -264,7 +477,7 @@ class YodaController:
             raise ControllerError("cannot drain the last live instance")
         instance = self.instances[name]
         self.draining.add(name)
-        instance.start_drain()
+        instance.start_drain(token=self.token)
         if self._drainer is None:
             self._drainer = DrainCoordinator(self.loop, self,
                                              self.drain_check_interval)
@@ -280,6 +493,7 @@ class YodaController:
         for vip, assigned in self.assignments.items():
             if name in assigned:
                 self._push_mapping(vip)
+        self.journal_sync()
         return status
 
     def _finish_drain(self, status: DrainStatus, crashed: bool = False) -> None:
@@ -301,17 +515,21 @@ class YodaController:
                 # the survivors' next packets onto live instances, which
                 # recover them.  The SNAT range stays allocated: recovered
                 # flows keep their ports.
-                instance.release_flows()
-                self.l4lb.flush_instance(instance.ip)
+                instance.release_flows(token=self.token)
+                self.l4lb.flush_instance(instance.ip, token=self.token)
                 self.metrics.counter("drains_forced").inc()
             else:
                 for vip in vips:
                     self.l4lb.snat.release(vip, instance.ip)
                 self.metrics.counter("drains_completed").inc()
+            # the instance has left the deployment: drop its monitor and
+            # health-view entries so a later re-add starts clean
+            self._forget_instance(name)
         self.metrics.counter("instances_removed").inc()
         if status.to_spare and instance is not None and not crashed:
             instance.draining = False
             self.spares.append(instance)
+        self.journal_sync()
 
     # ----------------------------------------------------------------- VIPs --
     def add_vip(self, policy: VipPolicy,
@@ -336,22 +554,31 @@ class YodaController:
             raise ControllerError("no live instances to assign the VIP to")
         self.assignments[vip] = list(names)
         for name in names:
-            self.instances[name].install_policy(policy)
-        self.l4lb.register_vip(vip)
+            self.instances[name].install_policy(policy, token=self.token)
+        self.l4lb.register_vip(vip, token=self.token)
         self._push_mapping(vip)
         self.metrics.counter("vips_added").inc()
+        self.journal_sync()
 
     def remove_vip(self, vip: str) -> None:
         """Reverse order of addition: unmap first, then drop rules."""
         if vip not in self.policies:
             raise ControllerError(f"unknown VIP {vip}")
-        self.l4lb.unregister_vip(vip)
+        self.l4lb.unregister_vip(vip, token=self.token)
         for name in self.assignments.pop(vip, []):
             instance = self.instances.get(name)
             if instance is not None:
-                instance.remove_policy(vip)
+                instance.remove_policy(vip, token=self.token)
         del self.policies[vip]
+        # decommission backends no remaining policy references: ghost
+        # health entries distort fail-open selection (which scans the
+        # view) and would pin dead verdicts forever
+        for bname in list(self.backends):
+            if not any(bname in p.backends for p in self.policies.values()):
+                del self.backends[bname]
+                self.health_view.forget(bname)
         self.metrics.counter("vips_removed").inc()
+        self.journal_sync()
 
     def update_policy(self, policy: VipPolicy) -> None:
         """Push a new policy version.  Instances apply it to new
@@ -368,7 +595,7 @@ class YodaController:
         for name in self.assignments.get(vip, []):
             instance = self.instances.get(name)
             if instance is not None:
-                instance.install_policy(policy)
+                instance.install_policy(policy, token=self.token)
         self.metrics.counter("policy_updates").inc()
 
     def set_assignment(self, vip: str, instance_names: List[str]) -> None:
@@ -377,10 +604,11 @@ class YodaController:
             raise ControllerError(f"unknown VIP {vip}")
         policy = self.policies[vip]
         for name in instance_names:
-            self.instances[name].install_policy(policy)
+            self.instances[name].install_policy(policy, token=self.token)
         removed = set(self.assignments.get(vip, [])) - set(instance_names)
         self.assignments[vip] = list(instance_names)
         self._push_mapping(vip)
+        self.journal_sync()
         # rules on removed instances are dropped lazily once their flows
         # drain; the mapping change is what redirects traffic
 
@@ -401,7 +629,7 @@ class YodaController:
             and self._instance_alive.get(n) and self.active.get(n)
         ]
         self.l4lb.update_mapping(vip, ips, flush_removed=True,
-                                 draining_ips=draining_ips)
+                                 draining_ips=draining_ips, token=self.token)
 
     # --------------------------------------------------------------- monitor --
     def register_backend(self, name: str, server: BackendHttpServer) -> None:
@@ -418,6 +646,35 @@ class YodaController:
         return True
 
     def _monitor_tick(self) -> None:
+        """One guarded monitor round.
+
+        Two layers of protection around the actual pass:
+
+        - leadership: a replica that is not the acting leader observes
+          nothing and mutates nothing (the data plane must be statically
+          stable while leaderless, and doubly-probed under a duel);
+        - containment: a raising probe, breaker callback or push must not
+          propagate out of the periodic task -- that would silently kill
+          monitoring forever.  Fencing rejections demote this replica;
+          anything else is recorded and the next round proceeds.
+        """
+        if not self.acting():
+            return
+        try:
+            self._monitor_pass()
+        except StaleLeaderEpoch as exc:
+            self.metrics.counter("pushes_fenced").inc()
+            if OBS.enabled:
+                OBS.flight("controller", "fenced", str(exc))
+            if self.on_fenced is not None:
+                self.on_fenced(exc)
+        except Exception as exc:  # noqa: BLE001 - the containment boundary
+            self.metrics.counter("monitor_tick_errors").inc()
+            if OBS.enabled:
+                OBS.flight("controller", "monitor_error",
+                           f"{type(exc).__name__}: {exc}")
+
+    def _monitor_pass(self) -> None:
         # YODA instances: remove failed ones from every mapping + flush
         for name, instance in self.instances.items():
             alive = self._instance_health.observe(name, self._probe(instance.host))
@@ -535,13 +792,13 @@ class YodaController:
         names = [inst.name for inst in standby.instances]
         for vip, policy in self.policies.items():
             for instance in standby.instances:
-                instance.install_policy(policy)
+                instance.install_policy(policy, token=self.token)
             self.assignments[vip] = list(names)
             # 3. VIP re-anchoring: claiming the VIP onto the standby
             # router re-points the fabric route, and deliveries re-check
             # routes, so even packets already in flight land on the new
             # region
-            self.l4lb.register_vip(vip)
+            self.l4lb.register_vip(vip, token=self.token)
             # 4. mapping push doubles as SNAT-range re-derivation: the
             # standby allocator mints a fresh port block per (VIP,
             # instance) as the mapping installs
@@ -551,7 +808,7 @@ class YodaController:
         # failures where surviving muxes would keep steering pinned flows
         # at dead instances
         for ip in dead_ips:
-            primary_l4lb.flush_instance(ip)
+            primary_l4lb.flush_instance(ip, token=self.token)
         self.metrics.counter("region_failovers").inc()
         self.metrics.gauge("failover_records_lost").set(
             float(self.failover_records_lost))
@@ -560,6 +817,7 @@ class YodaController:
                        f"promoted {standby.site}: {len(names)} instances "
                        f"take over, {self.failover_records_lost} unshipped "
                        f"records lost")
+        self.journal_sync()
 
     # -------------------------------------------------------- store membership --
     def _on_kv_membership(self, event: str, name: str) -> None:
@@ -589,6 +847,21 @@ class YodaController:
         self._scaler.start()
 
     def _autoscale_tick(self) -> None:
+        if not self.acting():
+            return
+        try:
+            self._autoscale_pass()
+        except StaleLeaderEpoch as exc:
+            self.metrics.counter("pushes_fenced").inc()
+            if self.on_fenced is not None:
+                self.on_fenced(exc)
+        except Exception as exc:  # noqa: BLE001 - same boundary as the monitor
+            self.metrics.counter("monitor_tick_errors").inc()
+            if OBS.enabled:
+                OBS.flight("controller", "autoscale_error",
+                           f"{type(exc).__name__}: {exc}")
+
+    def _autoscale_pass(self) -> None:
         assert self._autoscale is not None
         live = [
             self.instances[n] for n in self.instances
@@ -619,3 +892,4 @@ class YodaController:
                 self.remove_instance(victim.name)
                 self.spares.append(victim)
             self.metrics.counter("scaled_down").inc()
+            self.journal_sync()

@@ -246,6 +246,10 @@ class YodaInstance:
             if qos_config is not None else None
         )
         self.draining = False
+        # receiver-side stale-leader rejection (core.leader.FenceGate),
+        # attached by YodaService when the control plane is replicated;
+        # None (the single-controller default) admits every control call
+        self.fence = None
 
         self.policies: Dict[str, VipPolicy] = {}
         self._tables: Dict[str, Tuple[int, RuleTable]] = {}
@@ -328,21 +332,27 @@ class YodaInstance:
             ))
             self._destroy_flow(flow, remove_stored=True)
 
+    def _admit(self, token, kind: str) -> None:
+        if self.fence is not None:
+            self.fence.admit(token, kind, self.loop.now())
+
     # -------------------------------------------------------------- draining --
-    def start_drain(self) -> None:
+    def start_drain(self, token=None) -> None:
         """Stop admitting new connections; existing flows keep running.
 
         The controller pairs this with pulling the instance from the mux
         hash rings, so refused SYNs are retransmitted onto a live
         instance (make-before-break scale-in, DESIGN.md section 7).
         """
+        self._admit(token, "start_drain")
         self.draining = True
 
-    def release_flows(self) -> None:
+    def release_flows(self, token=None) -> None:
         """Forget all local flow state WITHOUT deleting the TCPStore
         records: the deadline-forced half of a drain.  Surviving flows
         recover on whichever instance the mux re-hashes their next packet
         to -- the paper's failover path, exercised deliberately."""
+        self._admit(token, "release_flows")
         for flow in list(self.flows.values()):
             state = flow.state
             if flow.long_lived and state.established and not self.host.failed:
@@ -372,10 +382,11 @@ class YodaInstance:
             in_use.clear()
 
     # ---------------------------------------------------------------- policy --
-    def install_policy(self, policy: VipPolicy) -> None:
+    def install_policy(self, policy: VipPolicy, token=None) -> None:
         """Install/refresh a VIP's rules.  Only new connections see the new
         version (Section 5.2): existing flows already carry their backend.
         """
+        self._admit(token, "install_policy")
         self.policies[policy.vip] = policy
         self._tables[policy.vip] = (
             policy.version,
@@ -383,7 +394,8 @@ class YodaInstance:
         )
         self.vip_bytes.setdefault(policy.vip, 0)
 
-    def remove_policy(self, vip: str) -> None:
+    def remove_policy(self, vip: str, token=None) -> None:
+        self._admit(token, "remove_policy")
         self.policies.pop(vip, None)
         self._tables.pop(vip, None)
 

@@ -13,6 +13,12 @@ from typing import Dict, List, Optional
 
 from repro.core.controller import StandbyRegion, YodaController
 from repro.core.instance import YodaCostModel, YodaInstance
+from repro.core.leader import (
+    ControllerReplica,
+    ControllerReplicaSet,
+    FenceGate,
+    LeaderElector,
+)
 from repro.core.policy import VipPolicy
 from repro.core.selector import ScanCostModel
 from repro.core.tcpstore import TcpStore
@@ -81,6 +87,16 @@ class YodaServiceConfig:
     # slow-loris guard: kill flows that never complete their request
     # headers within this many seconds of the SYN (None = off)
     header_deadline: Optional[float] = None
+    # -- controller HA (0 = the historical singleton controller, built
+    # exactly as before; N > 0 runs N leader-elected controller replicas
+    # competing for a fenced lease in the store -- see core.leader) --
+    num_controllers: int = 0
+    lease_ttl: float = 1.5
+    lease_settle: float = 0.25
+    # how long a leader that cannot reach the lease store keeps acting
+    # past its lease expiry (models a live partitioned old leader)
+    stepdown_grace: float = 0.0
+    controller_prefix: str = "10.8"
 
     def __post_init__(self) -> None:
         if self.hardening is not None:
@@ -133,12 +149,21 @@ class YodaService:
         if cfg.qos is not None:
             controller_kwargs["drain_deadline"] = cfg.qos.drain_deadline
             controller_kwargs["drain_check_interval"] = cfg.qos.drain_check_interval
-        self.controller = YodaController(
-            loop, self.l4lb, self.instances, kv_cluster=self.kv_cluster,
-            monitor_interval=cfg.monitor_interval,
-            down_after=cfg.down_after, up_after=cfg.up_after,
-            rng=self.rng, **controller_kwargs,
-        )
+        # singleton controller (the historical default) is constructed in
+        # exactly the same order as always; the replicated control plane
+        # is built strictly after everything else exists
+        self._controller: Optional[YodaController] = None
+        self.replica_set: Optional[ControllerReplicaSet] = None
+        self.controller_replicas: List[ControllerReplica] = []
+        self.lease_cluster: Optional[MemcachedCluster] = None
+        self.standby_region: Optional[StandbyRegion] = None
+        if cfg.num_controllers == 0:
+            self._controller = YodaController(
+                loop, self.l4lb, self.instances, kv_cluster=self.kv_cluster,
+                monitor_interval=cfg.monitor_interval,
+                down_after=cfg.down_after, up_after=cfg.up_after,
+                rng=self.rng, **controller_kwargs,
+            )
 
         # multi-region: everything standby is built strictly after the
         # single-site deployment, so a 1-site run constructs exactly what
@@ -150,6 +175,73 @@ class YodaService:
         self.replicator: Optional[SiteReplicator] = None
         if cfg.standby_site is not None:
             self._build_standby_region()
+
+        if cfg.num_controllers > 0:
+            self._build_controller_replicas(controller_kwargs)
+
+    @property
+    def controller(self) -> YodaController:
+        """The controller operator commands go to: the singleton, or --
+        replicated -- the acting leader's controller."""
+        if self._controller is not None:
+            return self._controller
+        assert self.replica_set is not None
+        return self.replica_set.leader_controller
+
+    def _build_controller_replicas(self, controller_kwargs: Dict) -> None:
+        """Construct N controller replicas, each a killable host with its
+        own lease/journal store client and a cold ``YodaController`` over
+        the shared data plane.  The lease cluster is a *union* membership
+        view over every store server in the deployment (both sites when a
+        standby exists), so leadership survives a region kill."""
+        cfg = self.config
+        lease_servers = list(self.store_servers) + list(self.standby_store_servers)
+        self.lease_cluster = MemcachedCluster(lease_servers)
+        self.replica_set = ControllerReplicaSet(self.loop, self.lease_cluster)
+        # arm stale-leader fencing on every control-plane receiver
+        self.l4lb.fence = FenceGate(self.l4lb.router.name)
+        if self.standby_l4lb is not None:
+            self.standby_l4lb.fence = FenceGate(self.standby_l4lb.router.name)
+        for instance in [*self.instances, *self.standby_instances]:
+            instance.fence = FenceGate(instance.name)
+        sites = ["dc"] if cfg.standby_site is None else ["dc", cfg.standby_site]
+        for i in range(cfg.num_controllers):
+            host = self.network.attach(Host(
+                f"ctl-{i}", [f"{cfg.controller_prefix}.0.{i + 1}"],
+                site=sites[i % len(sites)],
+            ))
+            kv = ReplicatingKvClient(
+                host, self.loop, self.lease_cluster,
+                replicas=min(3, len(lease_servers)),
+                op_timeout=cfg.kv_op_timeout, max_retries=1,
+                dead_after_timeouts=cfg.kv_dead_after_timeouts,
+                quarantine=cfg.kv_quarantine,
+                rng=self.rng.fork(f"kv/{host.name}"),
+                read_repair=False, hinted_handoff=False,
+            )
+            host.set_handler(kv.handle_response)
+            controller = YodaController(
+                self.loop, self.l4lb, self.instances,
+                kv_cluster=self.kv_cluster,
+                monitor_interval=cfg.monitor_interval,
+                down_after=cfg.down_after, up_after=cfg.up_after,
+                rng=self.rng, **controller_kwargs,
+            )
+            if self.standby_region is not None:
+                controller.register_standby_region(self.standby_region)
+            replica = ControllerReplica(host, self.loop, kv, controller,
+                                        self.replica_set)
+            # staggered first polls make replica 0 the deterministic first
+            # claimant; later replicas read its live lease and follow
+            elector = LeaderElector(
+                host, self.loop, kv, self.lease_cluster,
+                ttl=cfg.lease_ttl, settle=cfg.lease_settle,
+                grace=cfg.stepdown_grace, start_delay=0.01 + 0.11 * i,
+            )
+            replica.attach_elector(elector)
+            self.replica_set.add_replica(replica)
+            self.controller_replicas.append(replica)
+            elector.start()
 
     def _build_standby_region(self) -> None:
         """Construct the secondary site: its own L4 LB (router + muxes),
@@ -205,12 +297,14 @@ class YodaService:
                 ip=f"{cfg.standby_instance_prefix}.0.{i + 1}", site=site,
                 cluster=self.standby_kv_cluster, l4lb=self.standby_l4lb,
             ))
-        self.controller.register_standby_region(StandbyRegion(
+        self.standby_region = StandbyRegion(
             site=site, l4lb=self.standby_l4lb,
             instances=self.standby_instances,
             kv_cluster=self.standby_kv_cluster,
             replicator=self.replicator,
-        ))
+        )
+        if self._controller is not None:
+            self._controller.register_standby_region(self.standby_region)
 
     def _build_instance(self, index: int, name: Optional[str] = None,
                         ip: Optional[str] = None, site: str = "dc",
@@ -255,7 +349,11 @@ class YodaService:
         """Provision an extra instance VM and hand it to the autoscaler."""
         instance = self._build_instance(self._next_instance_id)
         self._next_instance_id += 1
-        self.controller.add_spare(instance)
+        if self.replica_set is not None:
+            instance.fence = FenceGate(instance.name)
+            self.replica_set.add_spare(instance)
+        else:
+            self.controller.add_spare(instance)
         return instance
 
     def add_service(
@@ -264,11 +362,22 @@ class YodaService:
         backends: Dict[str, BackendHttpServer],
         instance_names: Optional[List[str]] = None,
     ) -> None:
-        """Onboard one online service (VIP + backends + rules)."""
-        self.controller.add_vip(policy, backends=backends,
-                                instance_names=instance_names)
+        """Onboard one online service (VIP + backends + rules).  With a
+        replicated control plane this records operator intent in the
+        replica set's registry; the first elected leader installs it."""
+        if self.replica_set is not None:
+            self.replica_set.add_vip(policy, backends, instance_names)
+        else:
+            self.controller.add_vip(policy, backends=backends,
+                                    instance_names=instance_names)
 
     def instance_by_name(self, name: str) -> YodaInstance:
+        # search the service's own roster first: an instance that drained
+        # out (or was removed) leaves the controller's map but still
+        # exists as a VM the tests and experiments can inspect
+        for instance in self.instances:
+            if instance.name == name:
+                return instance
         return self.controller.instances[name]
 
     def settle(self, duration: float = 1.0) -> None:

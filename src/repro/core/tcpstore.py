@@ -29,6 +29,43 @@ from repro.kvstore.memcached import Version
 from repro.net.addresses import Endpoint
 
 
+class VersionLedger:
+    """Per-key version stamping for one writer: the write discipline every
+    store-backed record in the system shares (flow records here, and the
+    controller's lease/journal records in ``core.leader``).
+
+    ``stamp`` mints the next ``(counter, writer_id)`` version for a key;
+    ``adopt`` folds in a version another writer produced (recovery reads,
+    ``superseded_by`` refusals) so the next stamp out-versions it on every
+    replica.
+    """
+
+    def __init__(self, writer_id: str):
+        self.writer_id = writer_id
+        self._versions: Dict[str, Version] = {}
+
+    def stamp(self, key: str) -> Version:
+        held = self._versions.get(key)
+        version = ((held[0] if held else 0) + 1, self.writer_id)
+        self._versions[key] = version
+        return version
+
+    def adopt(self, key: str, version: Optional[Version]) -> None:
+        if version is None:
+            return
+        held = self._versions.get(key)
+        if held is None or tuple(version) > tuple(held):
+            self._versions[key] = tuple(version)
+
+    def version_of(self, key: str) -> Optional[Version]:
+        return self._versions.get(key)
+
+    def pop(self, key: str) -> Optional[Version]:
+        """Forget a key's counter, returning the last stamped version
+        (what a compare-and-delete pins to)."""
+        return self._versions.pop(key, None)
+
+
 class TcpStore:
     """One instance's handle on the shared flow-state store."""
 
@@ -44,28 +81,21 @@ class TcpStore:
         self.storage_b_ops = 0
         # per-key: the version of the newest record we wrote or read; the
         # next write for the key is stamped one above its counter
-        self._versions: Dict[str, Version] = {}
+        self._ledger = VersionLedger(self.writer_id)
 
     # -- versioning ------------------------------------------------------------
     def _stamp(self, key: str) -> Version:
-        held = self._versions.get(key)
-        version = ((held[0] if held else 0) + 1, self.writer_id)
-        self._versions[key] = version
-        return version
+        return self._ledger.stamp(key)
 
     def _adopt_version(self, key: str, version: Optional[Version]) -> None:
         """Record the version a recovery read returned, so our next write
         for the key supersedes it on every replica."""
-        if version is None:
-            return
-        held = self._versions.get(key)
-        if held is None or tuple(version) > tuple(held):
-            self._versions[key] = tuple(version)
+        self._ledger.adopt(key, version)
 
     def version_of(self, key: str) -> Optional[Version]:
         """The version of the newest record known for ``key`` (what the
         anti-entropy sweeper re-replicates at)."""
-        return self._versions.get(key)
+        return self._ledger.version_of(key)
 
     def owned_records(self, state: FlowState) -> List[Tuple[str, bytes, Optional[Version]]]:
         """The (key, payload, version) tuples that re-create this flow's
@@ -195,13 +225,13 @@ class TcpStore:
         change.  Pinning the delete to *our* version means we only ever
         destroy our own records."""
         key = state.storage_key()
-        version = self._versions.pop(key, None)
+        version = self._ledger.pop(key)
         self.kv.delete(key, version=version)
         if self.replicator is not None:
             self.replicator.note_delete(key, version)
         skey = state.server_storage_key()
         if skey is not None:
-            sversion = self._versions.pop(skey, None)
+            sversion = self._ledger.pop(skey)
             self.kv.delete(skey, version=sversion)
             if self.replicator is not None:
                 self.replicator.note_delete(skey, sversion)
@@ -211,7 +241,7 @@ class TcpStore:
         backend switch retires the old server connection)."""
         skey = state.server_storage_key()
         if skey is not None:
-            sversion = self._versions.pop(skey, None)
+            sversion = self._ledger.pop(skey)
             self.kv.delete(skey, version=sversion)
             if self.replicator is not None:
                 self.replicator.note_delete(skey, sversion)

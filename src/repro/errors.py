@@ -96,3 +96,56 @@ class InfeasibleError(AssignmentError):
 
 class ControllerError(ReproError):
     """Invalid controller operation (unknown VIP, duplicate instance, ...)."""
+
+
+class LeadershipLost(ControllerError):
+    """A controller replica stopped being the acting leader.
+
+    Carries the epoch it held and why it stepped down (superseded by a
+    newer claim, lease expired, or the lease store went silent), so the
+    flight recorder and tests can distinguish a clean hand-off from a
+    store outage.
+    """
+
+    def __init__(self, holder: str, epoch: int, reason: str):
+        super().__init__(f"{holder} lost leadership at epoch {epoch}: {reason}")
+        self.holder = holder
+        self.epoch = epoch
+        self.reason = reason
+
+
+class StaleLeaderEpoch(ControllerError):
+    """A control-plane push carried a lease epoch older than one the
+    receiver has already accepted (dueling-controller fencing).
+
+    Raised by the receiver-side fence gates on instances and the L4 LB;
+    the stale leader catches it, records the rejection, and steps down.
+    """
+
+    def __init__(self, receiver: str, kind: str, got_epoch: int,
+                 got_holder: str, current_epoch: int, current_holder: str):
+        super().__init__(
+            f"{receiver} rejected {kind} from {got_holder}@e{got_epoch}: "
+            f"fenced at {current_holder}@e{current_epoch}"
+        )
+        self.receiver = receiver
+        self.kind = kind
+        self.got_epoch = got_epoch
+        self.got_holder = got_holder
+        self.current_epoch = current_epoch
+        self.current_holder = current_holder
+
+
+class LeaseStoreUnavailable(KvStoreError):
+    """The leader-lease record could not be read or renewed because the
+    backing store cluster is unreachable (timeout or zero live servers).
+
+    Not a demotion by itself: the holder keeps acting until its lease
+    expiry (plus any configured step-down grace), which is exactly the
+    window the fencing epoch exists to make safe.
+    """
+
+    def __init__(self, holder: str, op: str):
+        super().__init__(f"{holder}: lease {op} got no answer from the store")
+        self.holder = holder
+        self.op = op

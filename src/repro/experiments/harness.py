@@ -99,6 +99,10 @@ class TestbedConfig:
     wan_jitter: float = 0.002
     replication: bool = True  # cross-site flow-store shipping (ablation)
     sync_interval: float = 0.05  # replicator pacing (lag ablations)
+    # -- controller high availability (0 = historical singleton) --
+    num_controllers: int = 0  # lease-elected controller replicas
+    lease_ttl: float = 1.5  # controller lease lifetime
+    stepdown_grace: float = 0.0  # how long a cut-off leader keeps acting
     # -- hardening / long-lived-flow knobs --
     header_deadline: Optional[float] = None  # instance slow-loris guard
     backend_progress_deadline: Optional[float] = None  # backend loris guard
@@ -221,6 +225,9 @@ class Testbed:
                     standby_site=cfg.standby_site,
                     replication=cfg.replication,
                     sync_interval=cfg.sync_interval,
+                    num_controllers=cfg.num_controllers,
+                    lease_ttl=cfg.lease_ttl,
+                    stepdown_grace=cfg.stepdown_grace,
                     header_deadline=cfg.header_deadline,
                     sync_op_timeout=max(
                         0.25, 4 * cfg.wan_one_way_latency + 0.05),

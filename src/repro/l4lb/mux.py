@@ -34,11 +34,14 @@ class _VipEntry:
     """
 
     def __init__(self, vip: str, instances: List[str], version: int,
-                 draining: List[str] = ()):
+                 draining: List[str] = (), epoch: int = -1):
         self.vip = vip
         self.instances = list(instances)
         self.draining = set(draining)
         self.version = version
+        # lease epoch of the controller that pushed this entry (-1 when
+        # the control plane is unreplicated); entries never regress epochs
+        self.epoch = epoch
         self.ring = HashRing(instances, vnodes=50)
 
 
@@ -58,12 +61,18 @@ class L4Mux:
 
     # -- control plane ------------------------------------------------------
     def apply_mapping(self, vip: str, instances: List[str], version: int,
-                      draining: List[str] = ()) -> None:
-        """Install a new instance list for a VIP (idempotent, versioned)."""
+                      draining: List[str] = (), epoch: int = -1) -> None:
+        """Install a new instance list for a VIP (idempotent, versioned).
+
+        An update carrying a lease epoch older than the installed entry's
+        is dropped: mapping pushes propagate with independent per-mux
+        delays, so a fenced-out controller's last push can still be in
+        flight when its successor's lands."""
         current = self.vips.get(vip)
-        if current is not None and current.version >= version:
+        if current is not None and (current.version >= version
+                                    or current.epoch > epoch):
             return
-        self.vips[vip] = _VipEntry(vip, instances, version, draining)
+        self.vips[vip] = _VipEntry(vip, instances, version, draining, epoch)
 
     def remove_vip(self, vip: str) -> None:
         self.vips.pop(vip, None)

@@ -55,17 +55,31 @@ class L4LoadBalancer:
         self.snat = SnatAllocator()
         self._versions: Dict[str, int] = {}
         self._authoritative: Dict[str, List[str]] = {}
+        # receiver-side stale-leader rejection (core.leader.FenceGate),
+        # attached by YodaService when the control plane is replicated.
+        # None in the single-controller configuration: every control call
+        # arrives with token=None and is accepted unchecked, exactly as
+        # before controller HA existed.
+        self.fence = None
         self._gc = PeriodicTask(loop, 30.0, self._expire_flows)
         self._gc.start()
 
+    def _admit(self, token, kind: str) -> None:
+        if self.fence is not None:
+            self.fence.admit(token, kind, self.loop.now())
+
     # -- control plane API (used by the YODA controller) ----------------------
-    def register_vip(self, vip: str) -> None:
-        """Make the fabric route a VIP's traffic to this service."""
+    def register_vip(self, vip: str, token=None) -> None:
+        """Make the fabric route a VIP's traffic to this service.
+        Idempotent, so a newly elected controller can re-anchor every VIP
+        it inherited without tracking which were already claimed."""
+        self._admit(token, "register_vip")
         self.network.claim_ip(self.router, vip)
         self._versions.setdefault(vip, 0)
         self._authoritative.setdefault(vip, [])
 
-    def unregister_vip(self, vip: str) -> None:
+    def unregister_vip(self, vip: str, token=None) -> None:
+        self._admit(token, "unregister_vip")
         self._versions.pop(vip, None)
         self._authoritative.pop(vip, None)
         for mux in self.muxes:
@@ -85,6 +99,7 @@ class L4LoadBalancer:
         flush_removed: bool = True,
         immediate: bool = False,
         draining_ips: Optional[List[str]] = None,
+        token=None,
     ) -> None:
         """Install a new VIP -> instances mapping.
 
@@ -100,6 +115,7 @@ class L4LoadBalancer:
                 hash ring (no new SYNs) but neither flushed nor forgotten,
                 so their established flows finish in place.
         """
+        self._admit(token, "update_mapping")
         if vip not in self._versions:
             raise NetworkError(f"VIP {vip} is not registered")
         draining = list(draining_ips or [])
@@ -108,28 +124,34 @@ class L4LoadBalancer:
         self._authoritative[vip] = list(instance_ips)
         self._versions[vip] += 1
         version = self._versions[vip]
+        # the lease epoch rides into each mux's entry: a delayed in-flight
+        # push from a fenced-out leader can never regress an entry a newer
+        # leader already installed, even across independent mux copies
+        epoch = self.fence.epoch if self.fence is not None else -1
         for ip in instance_ips:
             self.snat.ensure_range(vip, ip)
         for mux in self.muxes:
             delay = 0.0 if immediate else self.rng.uniform(0.0, self.mapping_propagation)
             self.loop.call_later(
                 delay, self._apply_to_mux, mux, vip, list(instance_ips), version,
-                sorted(removed) if flush_removed else [], draining,
+                sorted(removed) if flush_removed else [], draining, epoch,
             )
 
     def _apply_to_mux(
         self, mux: L4Mux, vip: str, instances: List[str], version: int,
         flush: List[str], draining: Optional[List[str]] = None,
+        epoch: int = -1,
     ) -> None:
         if vip not in self._versions:
             return  # VIP was unregistered while this update was in flight
-        mux.apply_mapping(vip, instances, version, draining or [])
+        mux.apply_mapping(vip, instances, version, draining or [], epoch)
         for instance_ip in flush:
             mux.flush_instance(instance_ip)
 
-    def flush_instance(self, instance_ip: str) -> int:
+    def flush_instance(self, instance_ip: str, token=None) -> int:
         """Flush every mux's flow-table pins for one instance (the forced
         half of a drain: surviving flows must re-hash elsewhere)."""
+        self._admit(token, "flush_instance")
         return sum(mux.flush_instance(instance_ip) for mux in self.muxes)
 
     def snat_range(self, vip: str, instance_ip: str):

@@ -79,7 +79,33 @@ class DrainCoordinator:
             self._task.start()
         return status
 
+    def resume(self, name: str, started_at: float, deadline_at: float,
+               flows_at_start: int, to_spare: bool = False) -> DrainStatus:
+        """Adopt a drain another controller started (journal replay after
+        a leadership change): the deadline is absolute -- the new leader
+        finishes the old leader's clock, it does not restart it."""
+        status = DrainStatus(
+            name=name, started_at=started_at, deadline_at=deadline_at,
+            flows_at_start=flows_at_start, to_spare=to_spare,
+        )
+        self.drains[name] = status
+        if not self._running:
+            self._running = True
+            self._task.start()
+        return status
+
+    def halt(self) -> None:
+        """Stop polling without resolving anything (the owning controller
+        replica died; a successor resumes from the journal)."""
+        self._running = False
+        self._task.stop()
+
     def _tick(self) -> None:
+        # A controller that lost its lease must not finish drains: the
+        # finish path pushes mappings and flushes muxes, which its
+        # successor (who resumed this drain from the journal) now owns.
+        if not getattr(self.controller, "acting", lambda: True)():
+            return
         now = self.loop.now()
         for name in list(self.drains):
             status = self.drains[name]
