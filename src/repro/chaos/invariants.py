@@ -114,9 +114,16 @@ class InvariantMonitor:
 
     def __init__(self, bed, check_storage: Optional[bool] = None):
         self.bed = bed
-        # storage/SNAT invariants only exist for YODA deployments
-        self.check_storage = (bed.yoda is not None if check_storage is None
-                              else check_storage)
+        if check_storage is None:
+            # storage invariants only exist for YODA deployments, and the
+            # stateless dispatch mode waives them by contract: it ACKs
+            # without durable writes -- that is the whole bargain, and its
+            # losses surface through flow-conservation instead
+            stateless = getattr(bed.config, "stateless", None)
+            check_storage = (bed.yoda is not None
+                             and not (stateless is not None
+                                      and stateless.enabled))
+        self.check_storage = check_storage
         self.vips: Set[str] = {bed.vip}
         self._vip_client_eps = {f"{vip}:80" for vip in self.vips}
         self.flows: Dict[str, _FlowAudit] = {}

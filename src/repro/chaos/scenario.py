@@ -33,6 +33,7 @@ from repro.chaos.invariants import (
     Verdict,
 )
 from repro.experiments.harness import Testbed, TestbedConfig
+from repro.l4lb.compact import StatelessConfig
 from repro.qos.config import QosConfig
 
 
@@ -54,6 +55,9 @@ class Scenario:
     num_store_servers: int = 3
     num_backends: int = 3
     qos_config: Optional[QosConfig] = None  # overload-control plane (yoda)
+    # compact stateless dispatch (yoda): enabled=True is the Concury-style
+    # ablation leg -- established flows must NOT survive an instance crash
+    stateless_config: Optional[StatelessConfig] = None
     # -- multi-region (None = the historical single-site scenario) --
     standby_site: Optional[str] = None  # e.g. "dc2": build a second region
     replication: bool = True  # cross-site flow-store shipping (ablation)
@@ -92,6 +96,7 @@ class ScenarioOutcome:
     streams_broken: int = 0
     failed_over: bool = False  # controller promoted the standby region
     records_lost: int = 0  # store records that never reached the standby
+    stateless: bool = False  # compact stateless dispatch was enabled
 
     @property
     def invariants_ok(self) -> bool:
@@ -112,7 +117,8 @@ class ScenarioOutcome:
         lines = [
             f"scenario {self.scenario} [{self.lb}] seed={self.seed}"
             f"{'' if self.repair else ' (repair OFF)'}"
-            f"{'' if self.replication else ' (replication OFF)'}: "
+            f"{'' if self.replication else ' (replication OFF)'}"
+            f"{' (stateless dispatch)' if self.stateless else ''}: "
             f"{'PASS' if self.ok else 'BROKEN'}",
             f"  pages: {self.pages_loaded} loaded, {self.broken_pages} broken",
         ]
@@ -171,6 +177,7 @@ class ScenarioEngine:
             flat_object_count=s.object_count,
             kv_self_healing=self.repair,
             qos=s.qos_config if self.lb == "yoda" else None,
+            stateless=s.stateless_config if self.lb == "yoda" else None,
             standby_site=s.standby_site,
             replication=self.replication,
             num_controllers=s.num_controllers if self.lb == "yoda" else 0,
@@ -253,6 +260,9 @@ class ScenarioEngine:
             failed_over=bool(getattr(controller, "failed_over", False)),
             records_lost=int(
                 getattr(controller, "failover_records_lost", 0) or 0),
+            stateless=bool(self.lb == "yoda"
+                           and s.stateless_config is not None
+                           and s.stateless_config.enabled),
         )
 
     def _fire(self, spec: FaultSpec) -> None:

@@ -37,6 +37,7 @@ from repro.experiments import (
     fig_ctrl,
     fig_failover,
     fig_overload,
+    fig_stateless,
     table1,
 )
 
@@ -106,6 +107,11 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         lambda seed: fig_ctrl.run(seed=seed),
         lambda seed: fig_ctrl.run_quick(seed=seed),
     ),
+    "stateless": (
+        "stateless compact dispatch: memory/flow, speed, crash ablation",
+        lambda seed: fig_stateless.run_ablation(seed=seed),
+        lambda seed: fig_stateless.run_ablation(seed=seed, quick=True),
+    ),
     "fig14": (
         "make-before-break policy updates",
         lambda seed: fig14.run(seed=seed),
@@ -158,6 +164,11 @@ def main(argv=None) -> int:
                              "the scenario's HA set -- the controller "
                              "ablation (a leader kill leaves the control "
                              "plane down for good)")
+    chaosp.add_argument("--stateless", action="store_true",
+                        help="route via the compact stateless dispatch "
+                             "table instead of per-flow mux state -- the "
+                             "fast-path ablation (established flows do "
+                             "not survive an instance crash)")
     obsp = sub.add_parser(
         "obs", help="run a short traced workload (with a mid-run LB crash) "
                     "and emit the observability report")
@@ -265,7 +276,13 @@ def _run_chaos(args) -> int:
         if args.single_controller:
             import dataclasses
             scenario = dataclasses.replace(scenario, num_controllers=1)
-        if args.no_baseline or args.no_replication or args.single_controller:
+        if args.stateless:
+            import dataclasses
+            from repro.l4lb.compact import StatelessConfig
+            scenario = dataclasses.replace(
+                scenario, stateless_config=StatelessConfig(enabled=True))
+        if (args.no_baseline or args.no_replication
+                or args.single_controller or args.stateless):
             # the replication ablation is a YODA-only knob; contrasting
             # it against HAProxy would compare different deployments
             outcomes = {"yoda": run_scenario(scenario, lb="yoda",

@@ -188,6 +188,11 @@ class YodaController:
         self.failed_over = False
         self.failover_at: Optional[float] = None
         self.failover_records_lost = 0
+        # compact stateless dispatch: latest table version each mapping
+        # push carried (empty when the L4 LB has no stateless machinery).
+        # Journaled so a takeover knows the floor its fencing re-push
+        # must move past -- a successor may never regress a VIP's table.
+        self.compact_versions: Dict[str, int] = {}
         # controller HA (core.leader): all None/identity in the
         # single-controller configuration, where this controller always
         # acts, never journals, and pushes token-free control calls.
@@ -284,6 +289,7 @@ class YodaController:
             "failed_over": self.failed_over,
             "failover_at": self.failover_at,
             "failover_records_lost": self.failover_records_lost,
+            "compact_versions": dict(self.compact_versions),
             "counters": counters,
         }
 
@@ -382,9 +388,28 @@ class YodaController:
                 to_spare=info.get("to_spare", False),
             )
         # 6. the fencing push: every mapping goes out at our epoch, so
-        # anything the old leader still says is rejected from here on
+        # anything the old leader still says is rejected from here on.
+        # Compact-table versions the old leader journaled are adopted
+        # first: mapping versions are monotonic per L4 service, so the
+        # re-pushed snapshots must land at (and record) versions at or
+        # above the old leader's -- verified, not assumed.
+        journaled_compact = {
+            vip: int(v)
+            for vip, v in (prev.get("compact_versions") or {}).items()
+        }
+        self.compact_versions.update(journaled_compact)
         for vip in self.policies:
             self._push_mapping(vip)
+        if not self.failed_over:
+            # versions are monotonic per L4 service; after a region
+            # failover the standby L4's counters are independent and no
+            # floor applies
+            for vip, floor in journaled_compact.items():
+                if self.compact_versions.get(vip, floor) < floor:
+                    raise ControllerError(
+                        f"compact table for {vip} regressed below the "
+                        f"journaled version {floor} during takeover"
+                    )
         # 7. counters carry across leaderships (monotonic adoption)
         for key, value in prev.get("counters", {}).items():
             counter = self.metrics.counter(key)
@@ -630,6 +655,9 @@ class YodaController:
         ]
         self.l4lb.update_mapping(vip, ips, flush_removed=True,
                                  draining_ips=draining_ips, token=self.token)
+        compact_version = self.l4lb.compact_version(vip)
+        if compact_version is not None:
+            self.compact_versions[vip] = compact_version
 
     # --------------------------------------------------------------- monitor --
     def register_backend(self, name: str, server: BackendHttpServer) -> None:

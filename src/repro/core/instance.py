@@ -28,7 +28,7 @@ from repro.core.flowstate import FlowPhase, FlowState, yoda_isn
 from repro.core.policy import VipPolicy
 from repro.core.selector import AllHealthy, BackendView, RuleTable, ScanCostModel
 from repro.core.tcpstore import TcpStore
-from repro.errors import ControllerError, SlowClientTimeout
+from repro.errors import SlowClientTimeout, SnatExhausted
 from repro.http import tls
 from repro.http.server import STREAM_PATH_PREFIX
 from repro.http.message import HttpRequest
@@ -230,11 +230,17 @@ class YodaInstance:
         l4lb=None,
         qos_config: Optional[QosConfig] = None,
         header_deadline: Optional[float] = None,
+        stateless: bool = False,
     ):
         self.host = host
         self.loop = loop
         self.rng = rng.fork(f"yoda/{host.name}")
         self.tcpstore = tcpstore
+        # stateless fast path: skip every durable TCPStore write (storage
+        # a/b, checkpoints, tickets, deletes).  Flows keep their in-memory
+        # state and SNAT ports, but nothing survives this VM -- the mode's
+        # deliberate tradeoff, demonstrated by the chaos ablation.
+        self.stateless = stateless
         self.cost = cost_model or YodaCostModel()
         self.scan_cost_model = scan_cost_model or ScanCostModel()
         self.l4lb = l4lb
@@ -355,7 +361,8 @@ class YodaInstance:
         self._admit(token, "release_flows")
         for flow in list(self.flows.values()):
             state = flow.state
-            if flow.long_lived and state.established and not self.host.failed:
+            if (flow.long_lived and state.established and not self.host.failed
+                    and not self.stateless):
                 # serialize the stream's progress before letting go, so the
                 # adopting instance resumes the download instead of
                 # replaying it from byte zero (or stalling on a dead
@@ -421,6 +428,8 @@ class YodaInstance:
         by a transient misrouting may already be closed (and deleted) at
         its real owner, and resurrecting its records would be wrong."""
         out: List[Tuple[str, bytes, object]] = []
+        if self.stateless:
+            return out  # nothing durable exists for this instance's flows
         now = self.loop.now()
         for flow in self.flows.values():
             if flow.phase is FlowPhase.CLOSING:
@@ -557,6 +566,15 @@ class YodaInstance:
         t0 = self.loop.now()
         if OBS.enabled:
             self._obs_flow_open(flow, pkt.meta.get("obs_ctx"))
+        if self.stateless:
+            # stateless fast path: SYN-ACK immediately, no storage-a.
+            # If this VM dies the flow is gone -- that is the bargain.
+            self.metrics.counter("stateless_flows").inc()
+            flow.syn_stored = True
+            flow.t_synack = t0
+            self._send_syn_ack(flow)
+            return
+        if OBS.enabled:
             OBS.ctx = OBS.tracer.ctx_of(self._obs_start(flow, "storage_a"))
         # storage-a MUST complete before the SYN-ACK leaves (Figure 3)
         self.tcpstore.store_client_syn(
@@ -704,6 +722,8 @@ class YodaInstance:
         if acked <= flow.client_acked:
             return
         flow.client_acked = acked
+        if self.stateless:
+            return  # progress is unrecoverable by design: no checkpoints
         if acked - state.resp_delivered < CHECKPOINT_BYTES:
             return
         state.resp_delivered = acked
@@ -738,6 +758,10 @@ class YodaInstance:
                     )
                     continue
                 t0 = self.loop.now()
+                if self.stateless:
+                    # no durable hello prefix: serve the flight directly
+                    self._tls_prefix_stored(flow.key(), True, t0)
+                    continue
                 if OBS.enabled:
                     # second storage-a write of a TLS flow (the hello
                     # prefix); the slot was freed when the SYN write ended
@@ -770,7 +794,8 @@ class YodaInstance:
                 # (appended to the deterministic flight, mirrored by the
                 # backend, and keyed into the flow store so resumption
                 # survives instance and region failover)
-                if (policy.session_tickets and not flow.tls_resumed
+                if (policy.session_tickets and not self.stateless
+                        and not flow.tls_resumed
                         and not flow.tls_ticket_issued):
                     flow.tls_ticket_issued = True
                     ticket = tls.ticket_for(flow.tls_sni)
@@ -824,7 +849,8 @@ class YodaInstance:
             if OBS.enabled:
                 self._obs_end(flow, "storage_a", ok=False)
             return  # client will retransmit the hello; we try again
-        self.metrics.histogram("storage_a_latency").observe(self.loop.now() - t0)
+        if not self.stateless:  # no zero-latency samples from the fast path
+            self.metrics.histogram("storage_a_latency").observe(self.loop.now() - t0)
         if OBS.enabled:
             self._obs_end(flow, "storage_a", ok=True)
         policy = self.policies.get(flow.state.vip.ip)
@@ -946,7 +972,11 @@ class YodaInstance:
         state = flow.state
         flow.backend_name = backend
         server_ep = policy.endpoint_of(backend)
-        snat_port = self._alloc_snat_port(policy.vip)
+        try:
+            snat_port = self._alloc_snat_port(policy.vip)
+        except SnatExhausted:
+            self._refuse_exhausted(flow)
+            return
         state.server = server_ep
         state.snat_port = snat_port
         if flow.tls:
@@ -1022,7 +1052,26 @@ class YodaInstance:
                     self._destroy_flow(flow, remove_stored=True)
                 if not closing:
                     break
-        raise ControllerError(f"SNAT ports exhausted on {self.name} for {vip}")
+        self.metrics.counter("snat_exhaustions").inc()
+        raise SnatExhausted(vip, self.ip)
+
+    def _refuse_exhausted(self, flow: _LocalFlow) -> None:
+        """SNAT exhaustion: refuse the flow with an RST and release the
+        mux's 5-tuple pin *immediately*.  Without the release, the refused
+        key stayed pinned to this instance for the full mux idle timeout,
+        steering the client's remaining packets (and any same-5-tuple
+        retry) at an instance that has no ports to serve them with."""
+        state = flow.state
+        self.metrics.counter("snat_refused_flows").inc()
+        if OBS.enabled:
+            OBS.flight(self.name, "snat_exhausted_refuse", flow.key())
+        self._send(Packet(
+            src=state.vip, dst=state.client, flags=RST | ACK,
+            seq=state.yoda_isn, ack=seq_add(state.client_isn, 1),
+        ))
+        self._destroy_flow(flow, remove_stored=True)
+        if self.l4lb is not None:
+            self.l4lb.release_flow(state.client, state.vip)
 
     # =========================================================== server side ==
     def _handle_server_packet(self, pkt: Packet, policy: VipPolicy) -> None:
@@ -1080,6 +1129,10 @@ class YodaInstance:
         flow.storage_b_inflight = True
         t0 = self.loop.now()
         state.phase = FlowPhase.TUNNEL.value
+        if self.stateless:
+            # no storage-b: complete the backend handshake immediately
+            self._storage_b_done(flow.key(), True, t0)
+            return
         if OBS.enabled:
             span = self._obs_start(flow, "storage_b")
             if span is not None:
@@ -1107,7 +1160,8 @@ class YodaInstance:
         if flow.syn_timer is not None:
             flow.syn_timer.cancel()
         now = self.loop.now()
-        self.metrics.histogram("storage_b_latency").observe(now - t0)
+        if not self.stateless:  # no zero-latency samples from the fast path
+            self.metrics.histogram("storage_b_latency").observe(now - t0)
         self.metrics.histogram("server_connect_latency").observe(
             now - flow.t_server_syn
         )
@@ -1170,7 +1224,8 @@ class YodaInstance:
         # close the old backend connection and drop its TCPStore index
         old_skey = (str(state.server), state.snat_port)
         self.by_server.pop(old_skey, None)
-        self.tcpstore.remove_server_index(state)
+        if not self.stateless:  # no index record was ever written
+            self.tcpstore.remove_server_index(state)
         self._send(Packet(
             src=Endpoint(state.vip.ip, state.snat_port), dst=state.server,
             flags=RST | ACK,
@@ -1186,7 +1241,13 @@ class YodaInstance:
         flow.resp_high = 0
         state.server = new_ep
         state.server_isn = None
-        state.snat_port = self._alloc_snat_port(policy.vip)
+        try:
+            state.snat_port = self._alloc_snat_port(policy.vip)
+        except SnatExhausted:
+            # old backend connection is already torn down; refuse the
+            # client rather than limp on with no port
+            self._refuse_exhausted(flow)
+            return True
         state.phase = FlowPhase.SERVER_SYN_SENT.value
         flow.phase = FlowPhase.SERVER_SYN_SENT
         flow.forwarded_req_bytes = start_offset
@@ -1401,6 +1462,12 @@ class YodaInstance:
         new_ep = policy.endpoint_of(result.backend)
         if new_ep == state.server:
             return False  # selection still points at the dead backend
+        # allocate before touching flow state: exhaustion here must leave
+        # the recovered flow exactly as the lookup produced it
+        try:
+            snat_port = self._alloc_snat_port(policy.vip)
+        except SnatExhausted:
+            return False
         self.metrics.counter("stream_resumes").inc()
         if OBS.enabled:
             OBS.flight(self.name, "stream_resume",
@@ -1415,7 +1482,7 @@ class YodaInstance:
             state.tls_handshake_len = sup
         state.server = new_ep
         state.server_isn = None
-        state.snat_port = self._alloc_snat_port(policy.vip)
+        state.snat_port = snat_port
         state.phase = FlowPhase.SERVER_SYN_SENT.value
         flow.phase = FlowPhase.SERVER_SYN_SENT
         flow.forwarded_req_bytes = state.request_offset
@@ -1464,7 +1531,7 @@ class YodaInstance:
             in_use = self._snat_in_use.get(state.vip.ip)
             if in_use is not None:
                 in_use.discard(state.snat_port)
-        if remove_stored and not self.host.failed:
+        if remove_stored and not self.host.failed and not self.stateless:
             self.tcpstore.remove(state)
 
     def _collect_idle_flows(self) -> None:

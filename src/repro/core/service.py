@@ -27,6 +27,7 @@ from repro.kvstore.client import MemcachedCluster, ReplicatingKvClient
 from repro.kvstore.memcached import MemcachedServer
 from repro.kvstore.repair import FlowStateRepairer
 from repro.kvstore.sitesync import SiteReplicator
+from repro.l4lb.compact import StatelessConfig
 from repro.l4lb.service import L4LoadBalancer
 from repro.net.host import Host
 from repro.net.network import Network
@@ -87,6 +88,11 @@ class YodaServiceConfig:
     # slow-loris guard: kill flows that never complete their request
     # headers within this many seconds of the SYN (None = off)
     header_deadline: Optional[float] = None
+    # compact stateless fast path (None = machinery absent; a default
+    # StatelessConfig is armed but inert -- snapshots are built on every
+    # push, dispatch unchanged; enabled=True flips the mux to O(1)
+    # compact dispatch and the instances to no durable writes)
+    stateless: Optional[StatelessConfig] = None
     # -- controller HA (0 = the historical singleton controller, built
     # exactly as before; N > 0 runs N leader-elected controller replicas
     # competing for a fenced lease in the store -- see core.leader) --
@@ -129,6 +135,7 @@ class YodaService:
         self.l4lb = L4LoadBalancer(
             loop, network, rng, num_muxes=cfg.num_muxes,
             mapping_propagation=cfg.mapping_propagation,
+            stateless=cfg.stateless,
         )
 
         self.store_servers: List[MemcachedServer] = []
@@ -256,6 +263,7 @@ class YodaService:
             mapping_propagation=cfg.mapping_propagation,
             router_ip=cfg.standby_router_ip,
             router_name="l4-router-standby", site=site,
+            stateless=cfg.stateless,
         )
         n_stores = cfg.num_standby_stores or cfg.num_store_servers
         for i in range(n_stores):
@@ -329,6 +337,8 @@ class YodaService:
             cost_model=cfg.cost_model, scan_cost_model=cfg.scan_cost_model,
             l4lb=l4lb or self.l4lb, qos_config=cfg.qos,
             header_deadline=cfg.header_deadline,
+            stateless=(cfg.stateless.enabled if cfg.stateless is not None
+                       else False),
         )
         if instance.qos is not None:
             # store latency feeds the AIMD limiter: kv degradation becomes

@@ -29,6 +29,7 @@ from repro.net.host import Host
 from repro.net.links import FixedLatency, JitterLatency
 from repro.net.network import Network
 from repro.obs import OBS
+from repro.l4lb.compact import StatelessConfig
 from repro.qos.config import HardeningConfig, QosConfig
 from repro.sim.events import EventLoop
 from repro.sim.random import SeededRng
@@ -107,6 +108,10 @@ class TestbedConfig:
     header_deadline: Optional[float] = None  # instance slow-loris guard
     backend_progress_deadline: Optional[float] = None  # backend loris guard
     tls_session_tickets: bool = False  # resumption tickets in the flow store
+    # compact stateless dispatch (yoda only; None = machinery absent,
+    # enabled=False = armed but inert, enabled=True = O(1) dispatch with
+    # no durable per-flow writes -- the Concury-style ablation)
+    stateless: Optional[StatelessConfig] = None
 
 
 class Testbed:
@@ -229,6 +234,7 @@ class Testbed:
                     lease_ttl=cfg.lease_ttl,
                     stepdown_grace=cfg.stepdown_grace,
                     header_deadline=cfg.header_deadline,
+                    stateless=cfg.stateless,
                     sync_op_timeout=max(
                         0.25, 4 * cfg.wan_one_way_latency + 0.05),
                 ),

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.kvstore.hashring import HashRing
+from repro.l4lb.compact import CompactDispatchTable, DispatchMode
 from repro.net.packet import Packet
 from repro.obs import OBS
 
@@ -43,6 +44,11 @@ class _VipEntry:
         # the control plane is unreplicated); entries never regress epochs
         self.epoch = epoch
         self.ring = HashRing(instances, vnodes=50)
+        # compact stateless snapshot riding this mapping push, plus the
+        # one it replaced -- the previous generation is what lets the
+        # stateless path lazily pin established flows to a draining owner
+        self.compact: Optional[CompactDispatchTable] = None
+        self.prev_compact: Optional[CompactDispatchTable] = None
 
 
 class L4Mux:
@@ -61,18 +67,29 @@ class L4Mux:
 
     # -- control plane ------------------------------------------------------
     def apply_mapping(self, vip: str, instances: List[str], version: int,
-                      draining: List[str] = (), epoch: int = -1) -> None:
+                      draining: List[str] = (), epoch: int = -1,
+                      compact: Optional[CompactDispatchTable] = None) -> None:
         """Install a new instance list for a VIP (idempotent, versioned).
 
         An update carrying a lease epoch older than the installed entry's
         is dropped: mapping pushes propagate with independent per-mux
         delays, so a fenced-out controller's last push can still be in
-        flight when its successor's lands."""
+        flight when its successor's lands.
+
+        ``compact`` is the frozen stateless snapshot built for exactly
+        this version.  The swap is a single reference assignment inside
+        the same entry install -- all-or-nothing with respect to traffic
+        interleaved between packets, and the version gate above means a
+        stale snapshot can never replace a newer one."""
         current = self.vips.get(vip)
         if current is not None and (current.version >= version
                                     or current.epoch > epoch):
             return
-        self.vips[vip] = _VipEntry(vip, instances, version, draining, epoch)
+        entry = _VipEntry(vip, instances, version, draining, epoch)
+        entry.compact = compact
+        if current is not None:
+            entry.prev_compact = current.compact
+        self.vips[vip] = entry
 
     def remove_vip(self, vip: str) -> None:
         self.vips.pop(vip, None)
@@ -107,6 +124,16 @@ class L4Mux:
             del self.flow_table[k]
         return len(stale)
 
+    def release_flow(self, flow_key: str) -> bool:
+        """Drop one flow-table pin immediately.
+
+        Used when the pinned instance refuses the flow (SNAT exhaustion):
+        without this the dead 5-tuple stays pinned for the full idle
+        timeout, steering the refused client's in-flight packets -- and
+        any retry on the same 5-tuple -- at an instance that already said
+        no."""
+        return self.flow_table.pop(flow_key, None) is not None
+
     # -- data plane -----------------------------------------------------------
     def process(self, pkt: Packet) -> None:
         vip = pkt.dst.ip
@@ -119,27 +146,13 @@ class L4Mux:
             return
         now = self.lb.loop.now()
         flow_key = f"{pkt.src}>{pkt.dst}"
-        instance_ip: Optional[str] = None
-
         is_new_flow = pkt.syn and not pkt.has_ack
-        if not is_new_flow:
-            cached = self.flow_table.get(flow_key)
-            if cached is not None:
-                cached.last_used = now
-                instance_ip = cached.instance_ip
-
-        if instance_ip is None:
-            # Return traffic from a backend lands on the SNAT port range
-            # of the owning instance.
-            owner = self.lb.snat.owner_of(vip, pkt.dst.port)
-            if owner is not None and (owner in entry.instances
-                                      or owner in entry.draining):
-                instance_ip = owner
-
-        if instance_ip is None:
-            instance_ip = entry.ring.lookup(flow_key)
-
-        self.flow_table[flow_key] = _FlowEntry(instance_ip, now)
+        if self.lb.mode is DispatchMode.STATELESS and entry.compact is not None:
+            instance_ip = self._route_stateless(entry, flow_key, pkt,
+                                                is_new_flow, now)
+        else:
+            instance_ip = self._route_stateful(entry, flow_key, pkt,
+                                               is_new_flow, now)
         self.forwarded += 1
         if OBS.enabled and is_new_flow:
             OBS.flight(self.name, "route", f"{flow_key} -> {instance_ip}")
@@ -148,3 +161,56 @@ class L4Mux:
                 OBS.tracer.event("l4.route", self.name, ctx=ctx,
                                  attrs={"instance": instance_ip})
         self.lb.forward_to_instance(instance_ip, pkt)
+
+    def _route_stateful(self, entry: _VipEntry, flow_key: str, pkt: Packet,
+                        is_new_flow: bool, now: float) -> str:
+        """Default mode: every flow gets a dict pin.  A cache hit now
+        returns without churning a fresh ``_FlowEntry`` -- the entry's
+        content could not change, so the per-packet allocation was pure
+        waste."""
+        if not is_new_flow:
+            cached = self.flow_table.get(flow_key)
+            if cached is not None:
+                cached.last_used = now
+                return cached.instance_ip
+        # Return traffic from a backend lands on the SNAT port range
+        # of the owning instance.
+        owner = self.lb.snat.owner_of(entry.vip, pkt.dst.port)
+        if owner is not None and (owner in entry.instances
+                                  or owner in entry.draining):
+            instance_ip = owner
+        else:
+            instance_ip = entry.ring.lookup(flow_key)
+        self.flow_table[flow_key] = _FlowEntry(instance_ip, now)
+        return instance_ip
+
+    def _route_stateless(self, entry: _VipEntry, flow_key: str, pkt: Packet,
+                         is_new_flow: bool, now: float) -> str:
+        """Compact mode: dispatch from the frozen snapshot, no per-flow
+        writes on the common path.  The only pins ever materialized are
+        for flows whose current-table target moved off a still-draining
+        instance -- the migration case where statelessness alone would
+        tear an established flow away from its owner mid-drain."""
+        table = entry.compact
+        if not is_new_flow:
+            if self.flow_table:
+                cached = self.flow_table.get(flow_key)
+                if cached is not None:
+                    cached.last_used = now
+                    return cached.instance_ip
+            # SNAT ranges all live at >= snat.base, so ordinary client
+            # traffic (dst port 80/443) skips the owner scan entirely
+            if pkt.dst.port >= self.lb.snat.base:
+                owner = self.lb.snat.owner_of(entry.vip, pkt.dst.port)
+                if owner is not None and (owner in entry.instances
+                                          or owner in entry.draining):
+                    return owner
+            target = table.lookup(flow_key)
+            if entry.draining and entry.prev_compact is not None:
+                prev = entry.prev_compact.lookup(flow_key)
+                if prev != target and prev in entry.draining:
+                    self.flow_table[flow_key] = _FlowEntry(prev, now)
+                    return prev
+            return target
+        # fresh SYN: pure O(1) table read, zero state written
+        return table.lookup(flow_key)

@@ -12,6 +12,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import NetworkError
+from repro.l4lb.compact import (
+    CompactDispatchTable,
+    CompactTableBuilder,
+    DispatchMode,
+    StatelessConfig,
+    bucket_targets,
+    maybe_config,
+)
 from repro.l4lb.mux import L4Mux
 from repro.l4lb.snat import SnatAllocator
 from repro.net.host import Host
@@ -42,6 +50,7 @@ class L4LoadBalancer:
         router_ip: str = "10.255.0.1",
         router_name: str = "l4-router",
         site: str = "dc",
+        stateless: Optional[StatelessConfig] = None,
     ):
         if num_muxes < 1:
             raise NetworkError("need at least one mux")
@@ -49,6 +58,14 @@ class L4LoadBalancer:
         self.network = network
         self.rng = rng.fork("l4lb")
         self.mapping_propagation = mapping_propagation
+        # compact stateless fast path: None = machinery absent (historic
+        # behaviour); StatelessConfig(enabled=False) = armed (builders run
+        # and snapshots ride every push, dispatch unchanged -- the golden
+        # pins hold); enabled=True = muxes dispatch from the snapshots
+        self.stateless = stateless
+        self.mode: DispatchMode = maybe_config(stateless)
+        self._compact_builders: Dict[str, CompactTableBuilder] = {}
+        self._compact: Dict[str, CompactDispatchTable] = {}
         self.router = network.attach(Host(router_name, [router_ip], site=site))
         self.router.set_handler(self._on_packet)
         self.muxes: List[L4Mux] = [L4Mux(self, i) for i in range(num_muxes)]
@@ -82,6 +99,8 @@ class L4LoadBalancer:
         self._admit(token, "unregister_vip")
         self._versions.pop(vip, None)
         self._authoritative.pop(vip, None)
+        self._compact_builders.pop(vip, None)
+        self._compact.pop(vip, None)
         for mux in self.muxes:
             mux.remove_vip(vip)
 
@@ -130,21 +149,46 @@ class L4LoadBalancer:
         epoch = self.fence.epoch if self.fence is not None else -1
         for ip in instance_ips:
             self.snat.ensure_range(vip, ip)
+        compact = self._build_compact(vip, instance_ips, version)
         for mux in self.muxes:
             delay = 0.0 if immediate else self.rng.uniform(0.0, self.mapping_propagation)
             self.loop.call_later(
                 delay, self._apply_to_mux, mux, vip, list(instance_ips), version,
                 sorted(removed) if flush_removed else [], draining, epoch,
+                compact,
             )
+
+    def _build_compact(self, vip: str, instance_ips: List[str],
+                       version: int) -> Optional[CompactDispatchTable]:
+        """Refresh the compact builder and freeze a snapshot for this
+        mapping version.  Pure stable-hash computation, no events and no
+        sim-RNG draws -- an armed-but-disabled config stays bit-identical
+        on the pinned golden traces."""
+        if self.stateless is None:
+            return None
+        if not instance_ips:
+            self._compact.pop(vip, None)
+            return None
+        builder = self._compact_builders.get(vip)
+        if builder is None:
+            builder = CompactTableBuilder(
+                num_buckets=self.stateless.num_buckets,
+                max_rebuild_attempts=self.stateless.max_rebuild_attempts,
+            )
+            self._compact_builders[vip] = builder
+        builder.update(bucket_targets(vip, instance_ips, builder.num_buckets))
+        snapshot = builder.snapshot(version, instance_ips)
+        self._compact[vip] = snapshot
+        return snapshot
 
     def _apply_to_mux(
         self, mux: L4Mux, vip: str, instances: List[str], version: int,
         flush: List[str], draining: Optional[List[str]] = None,
-        epoch: int = -1,
+        epoch: int = -1, compact: Optional[CompactDispatchTable] = None,
     ) -> None:
         if vip not in self._versions:
             return  # VIP was unregistered while this update was in flight
-        mux.apply_mapping(vip, instances, version, draining or [], epoch)
+        mux.apply_mapping(vip, instances, version, draining or [], epoch, compact)
         for instance_ip in flush:
             mux.flush_instance(instance_ip)
 
@@ -153,6 +197,30 @@ class L4LoadBalancer:
         half of a drain: surviving flows must re-hash elsewhere)."""
         self._admit(token, "flush_instance")
         return sum(mux.flush_instance(instance_ip) for mux in self.muxes)
+
+    def compact_version(self, vip: str) -> Optional[int]:
+        """Version of the latest compact snapshot built for a VIP (None
+        when the stateless machinery is absent or nothing was pushed)."""
+        snapshot = self._compact.get(vip)
+        return snapshot.version if snapshot is not None else None
+
+    def compact_table(self, vip: str) -> Optional[CompactDispatchTable]:
+        return self._compact.get(vip)
+
+    def release_flow(self, client, vip) -> bool:
+        """Release the mux flow-table pin for one refused flow, now.
+
+        Data-plane triggered (the owning instance calls this when it
+        refuses a flow on SNAT exhaustion), so no fence token: it tears
+        down the caller's own pin rather than reconfiguring anything.
+        The owning mux is found by the same ECMP hash the router used."""
+        flow_key = f"{client}>{vip}"
+        idx = stable_hash32(flow_key, salt="ecmp") % len(self.muxes)
+        if self.muxes[idx].release_flow(flow_key):
+            return True
+        # a pin can sit on another mux only if the mux count changed
+        # mid-run; sweep the rest so the release is unconditional
+        return any(m.release_flow(flow_key) for m in self.muxes)
 
     def snat_range(self, vip: str, instance_ip: str):
         """The (lo, hi) SNAT port block an instance may use for a VIP."""

@@ -14,6 +14,7 @@ from repro.experiments import (
     fig15,
     fig16,
     fig_overload,
+    fig_stateless,
     table1,
 )
 
@@ -100,6 +101,20 @@ def test_fig_overload_smoke():
     by_variant = {r["variant"]: r for r in result.rows}
     assert by_variant["qos"]["syns_shed"] > 0
     assert by_variant["no-qos"]["syns_shed"] == 0
+
+
+def test_fig_stateless_smoke():
+    result = fig_stateless.run_ablation(quick=True)
+    assert result.summary["contrast"] == "holds"
+    assert result.summary["memory_ratio"] >= 2.0
+    assert result.summary["syn_pps_ratio"] >= 1.2
+    assert result.summary["established_pps_ratio"] >= 0.6
+    assert result.summary["crash_stateful_ok"]
+    assert not result.summary["crash_stateless_ok"]
+    by_variant = {r["variant"]: r for r in result.rows}
+    assert by_variant["stateless"]["bytes_per_flow"] < \
+        by_variant["stateful"]["bytes_per_flow"]
+    assert by_variant["stateless"]["syn_pps"] > by_variant["stateful"]["syn_pps"]
 
 
 def test_table1_single_site_smoke():
