@@ -1,0 +1,53 @@
+"""Sharded-simulation scaling benchmark: regenerates ``BENCH_scale.json``.
+
+Runs the CI-sized slice of the ``scale`` experiment (2 cells over 1 and
+2 shards, a short piece of the diurnal day) and validates the emitted
+report: the schema, the per-leg accounting, and the determinism
+contract (re-running the multi-shard leg with the same seed produced a
+bit-identical merged digest -- ``fig_scale`` asserts it and records the
+verdict).
+
+Wall-clock speedup is *not* asserted: conservative-lookahead shards buy
+wall time only when each shard gets its own core, and CI runners make no
+core-count promise.  The report's ``cpus`` field is the context a reader
+needs to judge the ``speedup_vs_1shard`` column; the full-size figure
+comes from ``PYTHONPATH=src python -m repro run scale``.
+
+    PYTHONPATH=src python -m pytest benchmarks/test_scale_speed.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments import fig_scale
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_scale.json")
+
+
+class TestScaleBench:
+    def test_quick_scale_run_emits_valid_report(self):
+        result = fig_scale.quick(seed=2016, bench_path=BENCH_PATH)
+        print()
+        print(result.render())
+
+        with open(BENCH_PATH) as fh:
+            doc = json.load(fh)
+        assert doc["schema"] == fig_scale.SCHEMA
+        assert doc["cpus"] >= 1
+        assert doc["digest_reproducible"] is True
+        assert doc["window_seconds"] > 0.0
+
+        legs = {leg["shards"]: leg for leg in doc["legs"]}
+        assert set(legs) == {1, 2}
+        for leg in legs.values():
+            assert leg["tx_packets"] > 0
+            assert leg["packets_per_wall_sec"] > 0
+            assert leg["fetches_ok"] > 0
+            assert len(leg["digest"]) == 64
+        # the 2-shard leg actually cut the world
+        assert legs[2]["cross_shard_packets"] > 0
+        assert legs[1]["cross_shard_packets"] == 0
+        assert legs[1]["speedup_vs_1shard"] == 1.0

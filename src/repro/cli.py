@@ -37,6 +37,7 @@ from repro.experiments import (
     fig_ctrl,
     fig_failover,
     fig_overload,
+    fig_scale,
     fig_stateless,
     table1,
 )
@@ -106,6 +107,11 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         "controller HA: outage window, crash repair, single-ctl ablation",
         lambda seed: fig_ctrl.run(seed=seed),
         lambda seed: fig_ctrl.run_quick(seed=seed),
+    ),
+    "scale": (
+        "sharded-simulation throughput at 1/2/4 shards (BENCH_scale.json)",
+        lambda seed: fig_scale.run(seed=seed),
+        lambda seed: fig_scale.quick(seed=seed),
     ),
     "stateless": (
         "stateless compact dispatch: memory/flow, speed, crash ablation",

@@ -63,6 +63,14 @@ class YodaServiceConfig:
     scan_cost_model: ScanCostModel = field(default_factory=ScanCostModel)
     instance_prefix: str = "10.1"
     store_prefix: str = "10.2"
+    # -- cell namespacing (defaults reproduce the historical flat names/IPs
+    # exactly; the sharded scale world stamps one namespace per cell so
+    # many deployments can share a network -- or be cut across shards) --
+    subnet: int = 0  # third IP octet for instance/store addresses
+    site: str = "dc"  # primary site name
+    host_prefix: str = ""  # prepended to every host name built here
+    router_name: str = "l4-router"
+    router_ip: str = "10.255.0.1"
     # overload-control plane (None = not constructed; a default QosConfig
     # is armed but neutral -- it never sheds, breaks or limits)
     qos: Optional[QosConfig] = None
@@ -135,13 +143,17 @@ class YodaService:
         self.l4lb = L4LoadBalancer(
             loop, network, rng, num_muxes=cfg.num_muxes,
             mapping_propagation=cfg.mapping_propagation,
+            router_ip=cfg.router_ip, router_name=cfg.router_name,
+            site=cfg.site,
             stateless=cfg.stateless,
         )
 
         self.store_servers: List[MemcachedServer] = []
         for i in range(cfg.num_store_servers):
             host = network.attach(
-                Host(f"tcpstore-{i}", [f"{cfg.store_prefix}.0.{i + 1}"], site="dc")
+                Host(f"{cfg.host_prefix}tcpstore-{i}",
+                     [f"{cfg.store_prefix}.{cfg.subnet}.{i + 1}"],
+                     site=cfg.site)
             )
             self.store_servers.append(MemcachedServer(host, loop))
         self.kv_cluster = MemcachedCluster(self.store_servers)
@@ -211,10 +223,12 @@ class YodaService:
             self.standby_l4lb.fence = FenceGate(self.standby_l4lb.router.name)
         for instance in [*self.instances, *self.standby_instances]:
             instance.fence = FenceGate(instance.name)
-        sites = ["dc"] if cfg.standby_site is None else ["dc", cfg.standby_site]
+        sites = ([cfg.site] if cfg.standby_site is None
+                 else [cfg.site, cfg.standby_site])
         for i in range(cfg.num_controllers):
             host = self.network.attach(Host(
-                f"ctl-{i}", [f"{cfg.controller_prefix}.0.{i + 1}"],
+                f"{cfg.host_prefix}ctl-{i}",
+                [f"{cfg.controller_prefix}.{cfg.subnet}.{i + 1}"],
                 site=sites[i % len(sites)],
             ))
             kv = ReplicatingKvClient(
@@ -278,7 +292,8 @@ class YodaService:
             # real WAN latency, and a region kill takes the relay (and its
             # unshipped backlog) down with everything else
             relay = self.network.attach(
-                Host("sitesync-relay", ["10.7.0.1"], site="dc")
+                Host(f"{cfg.host_prefix}sitesync-relay", ["10.7.0.1"],
+                     site=cfg.site)
             )
             relay_kv = ReplicatingKvClient(
                 relay, self.loop, self.standby_kv_cluster,
@@ -315,13 +330,14 @@ class YodaService:
             self._controller.register_standby_region(self.standby_region)
 
     def _build_instance(self, index: int, name: Optional[str] = None,
-                        ip: Optional[str] = None, site: str = "dc",
+                        ip: Optional[str] = None, site: Optional[str] = None,
                         cluster: Optional[MemcachedCluster] = None,
                         l4lb: Optional[L4LoadBalancer] = None) -> YodaInstance:
         cfg = self.config
         host = self.network.attach(
-            Host(name or f"yoda-{index}",
-                 [ip or f"{cfg.instance_prefix}.0.{index + 1}"], site=site)
+            Host(name or f"{cfg.host_prefix}yoda-{index}",
+                 [ip or f"{cfg.instance_prefix}.{cfg.subnet}.{index + 1}"],
+                 site=site or cfg.site)
         )
         kv = ReplicatingKvClient(
             host, self.loop, cluster or self.kv_cluster,

@@ -45,6 +45,15 @@ class SnatExhausted(NetworkError):
         self.instance_ip = instance_ip
 
 
+class ShardError(ReproError):
+    """Invalid sharded-simulation operation.
+
+    Examples: a cross-shard link faster than the conservative lookahead
+    window, a packet detached twice from a :class:`~repro.net.packet.
+    PacketPool`, or non-serializable metadata on a boundary packet.
+    """
+
+
 class TcpError(ReproError):
     """A TCP endpoint was driven into an invalid operation for its state."""
 

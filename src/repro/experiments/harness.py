@@ -112,6 +112,15 @@ class TestbedConfig:
     # enabled=False = armed but inert, enabled=True = O(1) dispatch with
     # no durable per-flow writes -- the Concury-style ablation)
     stateless: Optional[StatelessConfig] = None
+    # -- sharded simulation (repro.shard) --
+    # >1 partitions the world across this many worker processes; 1 is the
+    # historical single-process path, untouched
+    num_shards: int = 1
+    # cell namespace index (None = the historical flat namespace).  With
+    # cell=k every site ("dc{k}"/"net{k}"), host name ("c{k}-..."), VIP
+    # (100.64.{k}.1) and IP subnet is stamped with k, so many testbeds can
+    # share one network -- or be partitioned across shard workers.
+    cell: Optional[int] = None
 
 
 class Testbed:
@@ -119,16 +128,38 @@ class Testbed:
 
     __test__ = False  # not a pytest class, despite the name
 
-    def __init__(self, config: Optional[TestbedConfig] = None):
+    def __init__(self, config: Optional[TestbedConfig] = None,
+                 fabric: Optional[tuple] = None, settle: bool = True):
         self.config = config or TestbedConfig()
         cfg = self.config
-        self.loop = EventLoop()
+        # cell namespace: sites, name prefix, VIP and IP subnet octet all
+        # derive from the cell index; None reproduces the historical
+        # flat names bit-for-bit
+        k = cfg.cell
+        if k is None:
+            self.site, self.client_site, prefix, sub = "dc", "internet", "", 0
+            self.vip = DEFAULT_VIP
+        else:
+            if cfg.standby_site is not None:
+                raise ValueError("cell namespacing and multi-region are "
+                                 "mutually exclusive")
+            self.site, self.client_site = f"dc{k}", f"net{k}"
+            prefix, sub = f"c{k}-", k
+            self.vip = f"100.64.{k}.1"
+        self._prefix = prefix
+        if fabric is None:
+            self.loop = EventLoop()
+            self.rng = SeededRng(cfg.seed)
+            self.network = Network(self.loop, self.rng)
+        else:
+            # share another testbed's world (the sharded scale world puts
+            # several cells on one loop+network per worker process)
+            self.loop, self.network = fabric
+            self.rng = SeededRng(cfg.seed)
         if OBS.enabled:
             OBS.attach_clock(self.loop.now)
-        self.rng = SeededRng(cfg.seed)
-        self.network = Network(self.loop, self.rng)
         self.network.set_symmetric_latency(
-            "internet", "dc",
+            self.client_site, self.site,
             JitterLatency(cfg.client_one_way_latency, cfg.client_jitter)
             if cfg.client_jitter > 0 else FixedLatency(cfg.client_one_way_latency),
         )
@@ -163,9 +194,10 @@ class Testbed:
         service_model = ServiceTimeModel(base=cfg.server_service_time)
         for i in range(cfg.num_backends):
             host = self.network.attach(
-                Host(f"srv-{i}", [f"10.3.0.{i + 1}"], site="dc")
+                Host(f"{prefix}srv-{i}", [f"10.3.{sub}.{i + 1}"],
+                     site=self.site)
             )
-            self.backends[f"srv-{i}"] = BackendHttpServer(
+            self.backends[f"{prefix}srv-{i}"] = BackendHttpServer(
                 host, self.loop, self.corpus.site, service_model=service_model,
                 tls_certificate=cfg.tls_certificate,
                 progress_deadline=cfg.backend_progress_deadline,
@@ -187,7 +219,6 @@ class Testbed:
                     session_tickets=cfg.tls_session_tickets,
                 )
 
-        self.vip = DEFAULT_VIP
         # primary-backup rule pattern: the standby site's backends sit in a
         # lower-priority rule, selected only once every primary backend is
         # marked unhealthy (i.e. after a region kill)
@@ -235,6 +266,9 @@ class Testbed:
                     stepdown_grace=cfg.stepdown_grace,
                     header_deadline=cfg.header_deadline,
                     stateless=cfg.stateless,
+                    subnet=sub, site=self.site, host_prefix=prefix,
+                    router_name=f"{prefix}l4-router",
+                    router_ip=f"10.255.{sub}.1",
                     sync_op_timeout=max(
                         0.25, 4 * cfg.wan_one_way_latency + 0.05),
                 ),
@@ -247,10 +281,14 @@ class Testbed:
                 raise ValueError("multi-region is a yoda-only feature")
             from repro.l4lb.service import L4LoadBalancer
 
-            self.l4lb = L4LoadBalancer(self.loop, self.network, self.rng)
+            self.l4lb = L4LoadBalancer(
+                self.loop, self.network, self.rng,
+                router_ip=f"10.255.{sub}.1",
+                router_name=f"{prefix}l4-router", site=self.site)
             for i in range(cfg.num_lb_instances):
                 host = self.network.attach(
-                    Host(f"haproxy-{i}", [f"10.4.0.{i + 1}"], site="dc")
+                    Host(f"{prefix}haproxy-{i}", [f"10.4.{sub}.{i + 1}"],
+                         site=self.site)
                 )
                 self.haproxy_instances.append(
                     HAProxyInstance(host, self.loop, self.rng,
@@ -270,11 +308,13 @@ class Testbed:
         self.client_stacks: List[TcpStack] = []
         for i in range(cfg.num_client_hosts):
             host = self.network.attach(
-                Host(f"client-{i}", [f"172.16.0.{i + 1}"], site="internet")
+                Host(f"{prefix}client-{i}", [f"172.16.{sub}.{i + 1}"],
+                     site=self.client_site)
             )
             self.client_stacks.append(TcpStack(host, self.loop))
 
-        self.loop.run_for(1.0)  # mappings & monitor settle
+        if settle:
+            self.loop.run_for(1.0)  # mappings & monitor settle
 
     # ------------------------------------------------------------- targets --
     def target(self) -> Endpoint:

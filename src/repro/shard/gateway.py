@@ -1,0 +1,93 @@
+"""The shard gateway: one shard's side of every cross-shard link.
+
+Installed as the network's export handler, it captures packets whose
+destination IP belongs to another shard *at their exact transmit time*,
+serializes them through :meth:`PacketPool.detach` (ownership transfer --
+the local object is dead the moment it is captured), and stamps each with
+the arrival time implied by the cross-shard link's latency model.  The
+barrier coordinator routes the resulting wire records; the destination
+shard's gateway adopts them into its own pool and schedules delivery.
+
+Determinism: export order is the deterministic event order of the local
+loop; every record carries a monotonic sequence number; the coordinator
+sorts deliveries by (arrival time, origin shard, sequence), so injection
+order is a pure function of the run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.packet import PACKET_POOL, Packet, PacketPool
+from repro.shard.plan import ShardPlan
+from repro.sim.random import SeededRng
+
+# (dst_shard, arrival_time, send_seq, origin_host_name, wire_tuple)
+ExportRecord = Tuple[int, float, int, str, tuple]
+# (arrival_time, origin_shard, send_seq, origin_host_name, wire_tuple)
+DeliveryRecord = Tuple[float, int, int, str, tuple]
+
+
+class ShardGateway:
+    """Captures, serializes and rehydrates boundary packets for one shard."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        plan: ShardPlan,
+        network: Network,
+        pool: Optional[PacketPool] = None,
+    ):
+        self.shard_index = shard_index
+        self.plan = plan
+        self.network = network
+        self.pool = pool if pool is not None else PACKET_POOL
+        # jitter on cross-shard links draws from a stream owned by the
+        # *sending* gateway, independent of every in-shard stream
+        self._xrng = SeededRng(plan.seed).fork(f"xshard/{shard_index}")
+        self._outbox: List[ExportRecord] = []
+        self._seq = 0
+        self.exported = 0
+        self.injected = 0
+        self.unroutable = 0
+        network.set_export_handler(self._export)
+
+    # -- transmit side ---------------------------------------------------
+    def _export(self, src_host: Host, packet: Packet) -> None:
+        owner = self.plan.owner_of_ip(packet.dst.ip)
+        if owner is None or owner[0] == self.shard_index:
+            # nobody owns the address (or we do, and it is dead): same
+            # fate as the network's own no-route drop
+            self.unroutable += 1
+            self.pool.release(packet)
+            return
+        dst_shard, dst_site = owner
+        model = self.plan.link_model(src_host.site, dst_site)
+        arrival = self.network.loop.now() + model.delay(packet, self._xrng)
+        wire = self.pool.detach(packet)
+        self._outbox.append(
+            (dst_shard, arrival, self._seq, src_host.name, wire))
+        self._seq += 1
+        self.exported += 1
+
+    def drain(self) -> List[ExportRecord]:
+        """Hand the window's exports to the coordinator and reclaim the
+        detached carcasses (any mutate-after-detach raises here)."""
+        out, self._outbox = self._outbox, []
+        self.pool.reclaim_detached()
+        return out
+
+    # -- receive side ----------------------------------------------------
+    def inject_all(self, deliveries: List[DeliveryRecord]) -> None:
+        """Adopt and schedule a window's worth of incoming packets.
+
+        ``deliveries`` arrive pre-sorted by (arrival, origin shard, seq);
+        conservative lookahead guarantees every arrival time is at or
+        after the current window start, so scheduling is always legal.
+        """
+        for arrival, _origin_shard, _seq, origin_host, wire in deliveries:
+            packet = self.pool.adopt(wire)
+            self.network.inject(packet, arrival, src_name=origin_host)
+            self.injected += 1

@@ -1,0 +1,198 @@
+"""The shard planner: cut a multi-cell world into per-process sub-worlds.
+
+The simulated world is a set of *cells* -- namespaced
+:class:`~repro.experiments.harness.Testbed` deployments (sites ``dc{k}``
+and ``net{k}``, VIP ``100.64.{k}.1``, IP subnet ``k``) that only interact
+over well-known cross-cell links.  The planner assigns cells to shards
+round-robin, derives the conservative-lookahead window from the slowest
+guarantee the cross-shard links can make (the *minimum* of every link
+model's :meth:`~repro.net.links.LatencyModel.lower_bound`), and publishes
+the IP-prefix ownership map shard gateways use to route boundary packets.
+
+A zero lower bound would make the lookahead window empty -- lockstep
+barriers could never advance -- so the planner rejects such links up
+front instead of letting the runner spin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ShardError
+from repro.net.links import FixedLatency, LatencyModel
+from repro.sim.random import stable_hash32
+
+DEFAULT_CROSS_CELL_LATENCY = 0.010  # 10 ms one-way between cells
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell's identity: everything derivable from its index + seed."""
+
+    index: int
+    seed: int
+
+    @property
+    def site(self) -> str:
+        return f"dc{self.index}"
+
+    @property
+    def client_site(self) -> str:
+        return f"net{self.index}"
+
+    @property
+    def vip(self) -> str:
+        return f"100.64.{self.index}.1"
+
+    def ip_prefixes(self) -> List[Tuple[str, str]]:
+        """(prefix, site) pairs covering every address the cell can own.
+
+        Mirrors the subnet stamping in :class:`Testbed`/:class:`YodaService`
+        construction; the gateway resolves an exported packet's owner by
+        longest matching prefix.
+        """
+        k = self.index
+        dc, net = self.site, self.client_site
+        return [
+            (f"172.16.{k}.", net),  # client hosts
+            (f"100.64.{k}.", dc),  # the cell's VIP
+            (f"10.1.{k}.", dc),  # yoda instances
+            (f"10.2.{k}.", dc),  # tcpstore servers
+            (f"10.3.{k}.", dc),  # backends
+            (f"10.4.{k}.", dc),  # haproxy instances
+            (f"10.8.{k}.", dc),  # controller replicas
+            (f"10.255.{k}.", dc),  # the L4 router
+        ]
+
+
+@dataclass(frozen=True)
+class CrossLink:
+    """One directional cross-shard site pair and its latency model."""
+
+    src_site: str
+    dst_site: str
+    model: LatencyModel
+
+    @property
+    def lookahead(self) -> float:
+        return self.model.lower_bound()
+
+
+@dataclass
+class ShardPlan:
+    """The planner's output: assignment, links, window, ownership map."""
+
+    seed: int
+    num_shards: int
+    cells: List[CellSpec]
+    assignment: Dict[int, int]  # cell index -> shard index
+    window: float  # conservative lookahead (seconds)
+    links: List[CrossLink] = field(default_factory=list)
+    # the complete inter-cell latency table, co-located pairs included --
+    # a cell pair behaves identically whether it shares a shard or not,
+    # so 1/2/4-shard legs of an experiment run the same physical world
+    models: Dict[Tuple[str, str], LatencyModel] = field(default_factory=dict)
+    default_model: LatencyModel = field(
+        default_factory=lambda: FixedLatency(DEFAULT_CROSS_CELL_LATENCY))
+    # derived lookup table (built in __post_init__)
+    _prefix_owner: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for cell in self.cells:
+            shard = self.assignment[cell.index]
+            for prefix, site in cell.ip_prefixes():
+                self._prefix_owner.append((prefix, shard, site))
+        # longest prefix first so a short prefix can never shadow a longer
+        self._prefix_owner.sort(key=lambda e: -len(e[0]))
+
+    def shard_of_cell(self, cell_index: int) -> int:
+        return self.assignment[cell_index]
+
+    def cells_on(self, shard: int) -> List[CellSpec]:
+        return [c for c in self.cells if self.assignment[c.index] == shard]
+
+    def owner_of_ip(self, ip: str) -> Optional[Tuple[int, str]]:
+        """(shard, site) owning ``ip``, or None if no cell claims it."""
+        for prefix, shard, site in self._prefix_owner:
+            if ip.startswith(prefix):
+                return shard, site
+        return None
+
+    def link_model(self, src_site: str, dst_site: str) -> LatencyModel:
+        return self.models.get((src_site, dst_site), self.default_model)
+
+
+class ShardPlanner:
+    """Cuts a cell-structured topology into ``num_shards`` sub-worlds."""
+
+    def __init__(
+        self,
+        num_cells: int,
+        num_shards: int,
+        seed: int = 2016,
+        cross_model: Optional[LatencyModel] = None,
+        cross_models: Optional[Dict[Tuple[str, str], LatencyModel]] = None,
+    ):
+        if num_shards < 1:
+            raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+        if num_cells < num_shards:
+            raise ShardError(
+                f"cannot spread {num_cells} cells over {num_shards} shards"
+            )
+        self.num_cells = num_cells
+        self.num_shards = num_shards
+        self.seed = seed
+        self.cross_model = cross_model or FixedLatency(
+            DEFAULT_CROSS_CELL_LATENCY)
+        self.cross_models = dict(cross_models or {})
+
+    def _cell_seed(self, index: int) -> int:
+        # stable per-cell seed: a cell is built identically no matter which
+        # shard (or how many shards) it lands on
+        return stable_hash32(f"cell/{index}", salt=str(self.seed))
+
+    def plan(self) -> ShardPlan:
+        cells = [CellSpec(index=k, seed=self._cell_seed(k))
+                 for k in range(self.num_cells)]
+        assignment = {k: k % self.num_shards for k in range(self.num_cells)}
+        links: List[CrossLink] = []
+        bounds: List[float] = []
+        models: Dict[Tuple[str, str], LatencyModel] = {}
+        for a in cells:
+            for b in cells:
+                if a.index == b.index:
+                    continue
+                # any site of a can talk to any site of b
+                for src in (a.site, a.client_site):
+                    for dst in (b.site, b.client_site):
+                        model = self.cross_models.get((src, dst),
+                                                      self.cross_model)
+                        models[(src, dst)] = model
+                        if assignment[a.index] == assignment[b.index]:
+                            continue  # co-located: not a lookahead bound
+                        link = CrossLink(src, dst, model)
+                        if link.lookahead <= 0.0:
+                            raise ShardError(
+                                f"cross-shard link {src}->{dst} has a zero "
+                                f"latency lower bound ({model!r}); the "
+                                f"conservative lookahead window would be "
+                                f"empty"
+                            )
+                        links.append(link)
+                        bounds.append(link.lookahead)
+        window = min(bounds) if bounds else self.cross_model.lower_bound()
+        if window <= 0.0:
+            # single-shard plans with a degenerate default still need a
+            # usable stepping quantum
+            window = DEFAULT_CROSS_CELL_LATENCY
+        return ShardPlan(
+            seed=self.seed,
+            num_shards=self.num_shards,
+            cells=cells,
+            assignment=assignment,
+            window=window,
+            links=links,
+            models=models,
+            default_model=self.cross_model,
+        )

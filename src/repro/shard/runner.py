@@ -1,0 +1,234 @@
+"""The sharded-runner facade: one call from plan to merged result.
+
+Two execution modes over the identical barrier protocol:
+
+- ``inline``: every :class:`ShardWorker` lives in this process and is
+  stepped round-robin.  No parallelism, but bit-identical to the forked
+  mode (the protocol is the same messages in the same order), so tests
+  and 1-CPU machines exercise the full machinery cheaply.
+- ``fork``: one OS process per shard (``multiprocessing`` with the
+  ``fork`` start method -- plans and builders are inherited, never
+  pickled), pipes carrying only wire tuples.  This is the mode that
+  actually buys wall-clock on multi-core machines.
+
+``run_scenario_sharded`` is the golden-equivalence entry point: it runs a
+pinned chaos scenario through the sharded path (1-shard plans reuse the
+scenario engine with windowed stepping) and returns digests directly
+comparable to ``tests/golden/*.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ShardError
+from repro.shard.barrier import BarrierCoordinator, merge_digests
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import ShardWorker, WorldBuilder, worker_main
+
+
+@dataclass
+class ShardRunResult:
+    """A finished sharded run, merged across shards."""
+
+    num_shards: int
+    window: float
+    windows_run: int
+    duration: float  # virtual seconds advanced past the aligned start
+    digest: str  # merged run digest
+    per_shard: List[Dict[str, object]] = field(default_factory=list)
+    cross_shard_packets: int = 0
+
+    @property
+    def total_tx_packets(self) -> int:
+        return sum(int(s.get("tx_packets", 0)) for s in self.per_shard)
+
+    @property
+    def total_records(self) -> int:
+        return sum(int(s.get("records", 0)) for s in self.per_shard)
+
+
+class ShardedRunner:
+    """Drive a planned world for a duration and merge the outcome."""
+
+    def __init__(self, plan: ShardPlan, builder: WorldBuilder,
+                 mode: str = "fork"):
+        if mode not in ("fork", "inline"):
+            raise ShardError(f"unknown shard execution mode {mode!r}")
+        self.plan = plan
+        self.builder = builder
+        self.mode = mode
+        self.coordinator = BarrierCoordinator(plan)
+
+    def run(self, duration: float) -> ShardRunResult:
+        if duration <= 0:
+            raise ShardError(f"duration must be positive, got {duration}")
+        if self.mode == "inline":
+            return self._run_inline(duration)
+        return self._run_forked(duration)
+
+    # -- inline ----------------------------------------------------------
+    def _run_inline(self, duration: float) -> ShardRunResult:
+        workers = [ShardWorker(i, self.plan, self.builder)
+                   for i in range(self.plan.num_shards)]
+        start = max(w.now() for w in workers)
+        deliveries: List[List] = [[] for _ in workers]
+        for until in self.coordinator.window_ends(start, duration):
+            exports = []
+            for worker, batch in zip(workers, deliveries):
+                worker.inject(batch)
+                exports.append(worker.run_window(until))
+            deliveries = self.coordinator.route(exports)
+        self._flush_tail(deliveries)
+        stats = [w.finish() for w in workers]
+        return self._result(duration, stats)
+
+    # -- forked ----------------------------------------------------------
+    def _run_forked(self, duration: float) -> ShardRunResult:
+        ctx = multiprocessing.get_context("fork")
+        conns, procs = [], []
+        try:
+            for i in range(self.plan.num_shards):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(i, self.plan, self.builder, child),
+                    name=f"shard-{i}",
+                )
+                proc.start()
+                child.close()
+                conns.append(parent)
+                procs.append(proc)
+            start = max(self._expect(c, "ready")[2] for c in conns)
+            deliveries: List[List] = [[] for _ in conns]
+            for until in self.coordinator.window_ends(start, duration):
+                for conn, batch in zip(conns, deliveries):
+                    conn.send(("window", until, batch))
+                exports = [self._expect(c, "exports")[2] for c in conns]
+                deliveries = self.coordinator.route(exports)
+            self._flush_tail(deliveries)
+            for conn in conns:
+                conn.send(("finish",))
+            stats = [self._expect(c, "done")[2] for c in conns]
+            return self._result(duration, stats)
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+                    proc.join()
+
+    @staticmethod
+    def _expect(conn, kind: str) -> tuple:
+        msg = conn.recv()
+        if msg[0] == "error":
+            raise ShardError(f"shard {msg[1]} failed: {msg[2]}")
+        if msg[0] != kind:
+            raise ShardError(f"expected {kind!r} from shard, got {msg[0]!r}")
+        return msg
+
+    def _flush_tail(self, deliveries: List[List]) -> None:
+        # packets exported in the final window would arrive after the run
+        # ends; dropping them at the cut is fine for statistics, but a
+        # silent loss would skew packet accounting, so note the count
+        self.tail_dropped = sum(len(batch) for batch in deliveries)
+
+    def _result(self, duration: float,
+                stats: List[Dict[str, object]]) -> ShardRunResult:
+        digest = merge_digests(
+            {int(s["shard"]): str(s["digest"]) for s in stats})
+        crossed = sum(int(s.get("exported", 0)) for s in stats)
+        return ShardRunResult(
+            num_shards=self.plan.num_shards,
+            window=self.plan.window,
+            windows_run=self.coordinator.windows_run,
+            duration=duration,
+            digest=digest,
+            per_shard=stats,
+            cross_shard_packets=crossed,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Golden-equivalence path: chaos scenarios through the sharded machinery
+# ---------------------------------------------------------------------------
+
+def run_scenario_sharded(name: str, overrides: Optional[Dict] = None,
+                         seed: int = 2016, lb: str = "yoda",
+                         step_window: float = 0.25,
+                         replication: Optional[bool] = None,
+                         forked: bool = False) -> Dict[str, object]:
+    """Run a library chaos scenario as a 1-shard sharded job.
+
+    The world is not cut (chaos scenarios are single-cell), but the run
+    goes through the shard execution shape: the loop advances in fixed
+    windows, the schedule folds into a :class:`DigestTrace`, and with
+    ``forked=True`` the whole thing executes in a shard worker process
+    with only digests crossing the pipe.  Output digests are directly
+    comparable to the pinned golden files.
+    """
+    if forked:
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(
+            target=_scenario_child,
+            args=(name, overrides, seed, lb, step_window, replication, child),
+            name=f"shard-scenario-{name}",
+        )
+        proc.start()
+        child.close()
+        try:
+            msg = parent.recv()
+        finally:
+            parent.close()
+            proc.join(timeout=120)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join()
+        if msg[0] == "error":
+            raise ShardError(f"scenario worker failed: {msg[1]}")
+        return msg[1]
+    return _run_scenario_windowed(name, overrides, seed, lb, step_window,
+                                  replication)
+
+
+def _scenario_child(name, overrides, seed, lb, step_window, replication,
+                    conn) -> None:
+    try:
+        result = _run_scenario_windowed(name, overrides, seed, lb,
+                                        step_window, replication)
+        conn.send(("ok", result))
+    except Exception as exc:
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        raise
+    finally:
+        conn.close()
+
+
+def _run_scenario_windowed(name, overrides, seed, lb, step_window,
+                           replication=None) -> Dict[str, object]:
+    # imported here: repro.chaos pulls in the full experiment stack, which
+    # the lean shard data path (plan/gateway/worker) must not depend on
+    from repro.chaos.library import get_scenario
+    from repro.chaos.scenario import ScenarioEngine
+    from repro.sim.tracing import DigestTrace
+
+    scenario = get_scenario(name)
+    if overrides:
+        scenario = dataclasses.replace(scenario, **overrides)
+    recorder = DigestTrace(f"scenario-{name}")
+    engine = ScenarioEngine(scenario, lb=lb, seed=seed, taps=[recorder],
+                            step_window=step_window, replication=replication)
+    outcome = engine.run()
+    return {
+        "scenario": name,
+        "digest": recorder.digest(),
+        "records": recorder.count,
+        "engine_digest": outcome.trace_digest,
+        "ok": outcome.ok,
+    }

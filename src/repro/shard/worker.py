@@ -1,0 +1,118 @@
+"""The shard worker: one shard's sub-world and its barrier protocol half.
+
+A worker owns an :class:`EventLoop` + :class:`Network` slice of the world
+(built by a *builder* callable so tests can supply toy topologies and the
+scale experiment its cell fabric), a :class:`DigestTrace` folding the
+shard's packet schedule into a running SHA-256, and -- in multi-shard
+plans -- a :class:`ShardGateway` for boundary packets.
+
+The same class serves both execution modes: the inline runner calls
+``inject``/``run_window``/``finish`` directly, and :func:`worker_main` is
+the child-process entry point speaking the identical protocol over a
+pipe.  Workers are started with the ``fork`` start method, so the builder
+and plan cross into the child by inheritance, never by pickling; only
+wire tuples travel the pipes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.net.network import Network
+from repro.shard.gateway import DeliveryRecord, ExportRecord, ShardGateway
+from repro.shard.plan import ShardPlan
+from repro.sim.events import EventLoop
+from repro.sim.tracing import DigestTrace
+
+
+class ShardWorld(Protocol):
+    """What a builder must return: a loop, its network, and extra stats."""
+
+    loop: EventLoop
+    network: Network
+
+    def stats(self) -> Dict[str, float]: ...
+
+
+WorldBuilder = Callable[[int, ShardPlan], "ShardWorld"]
+
+
+class ShardWorker:
+    """One shard: builds its world and steps it window by window."""
+
+    def __init__(self, shard_index: int, plan: ShardPlan,
+                 builder: WorldBuilder):
+        self.shard_index = shard_index
+        self.plan = plan
+        self.world = builder(shard_index, plan)
+        self.digest = DigestTrace(f"shard-{shard_index}")
+        self.world.network.add_trace(self.digest)
+        self.gateway: Optional[ShardGateway] = None
+        if plan.num_shards > 1:
+            self.gateway = ShardGateway(shard_index, plan, self.world.network)
+
+    def now(self) -> float:
+        return self.world.loop.now()
+
+    def inject(self, deliveries: List[DeliveryRecord]) -> None:
+        if deliveries:
+            assert self.gateway is not None
+            self.gateway.inject_all(deliveries)
+
+    def run_window(self, until: float) -> List[ExportRecord]:
+        self.world.loop.run(until=until)
+        if self.gateway is None:
+            return []
+        return self.gateway.drain()
+
+    def finish(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "shard": self.shard_index,
+            "digest": self.digest.digest(),
+            "records": self.digest.count,
+            "tx_packets": self.world.network.metrics.counter(
+                "tx_packets").value,
+            "now": self.now(),
+        }
+        if self.gateway is not None:
+            out["exported"] = self.gateway.exported
+            out["injected"] = self.gateway.injected
+        out.update(self.world.stats())
+        return out
+
+
+def worker_main(shard_index: int, plan: ShardPlan, builder: WorldBuilder,
+                conn) -> None:
+    """Child-process entry: build the shard, then serve barrier messages.
+
+    Protocol (parent -> child / child -> parent):
+        -> ("window", until, deliveries)   run to ``until``
+        <- ("exports", shard, exports)
+        -> ("finish",)
+        <- ("done", shard, stats)
+    Construction ends with ("ready", shard, now) so the parent can align
+    every shard's start time before the first window.
+    """
+    try:
+        worker = ShardWorker(shard_index, plan, builder)
+        conn.send(("ready", shard_index, worker.now()))
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "window":
+                _, until, deliveries = msg
+                worker.inject(deliveries)
+                exports = worker.run_window(until)
+                conn.send(("exports", shard_index, exports))
+            elif kind == "finish":
+                conn.send(("done", shard_index, worker.finish()))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ValueError(f"unknown shard message {kind!r}")
+    except Exception as exc:  # surface crashes instead of hanging the barrier
+        try:
+            conn.send(("error", shard_index, f"{type(exc).__name__}: {exc}"))
+        finally:
+            raise
+    finally:
+        conn.close()

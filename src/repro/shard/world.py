@@ -1,0 +1,220 @@
+"""The scale world: many namespaced cells under one diurnal day of load.
+
+Each cell is a complete small YODA deployment (its own L4 LB, instance
+tier, store cluster, backends and clients) built by the standard
+:class:`Testbed` with ``cell=k`` namespacing, so any number of cells can
+share one event loop and network -- and be cut across shard workers at
+any granularity.  Clients in every cell follow the compressed diurnal +
+flash-crowd trace (:mod:`repro.workload.trace`), and a configurable
+fraction of each cell's requests targets the *next* cell's VIP, which is
+the traffic that exercises cross-shard links.
+
+Construction is layout-independent: every cell builds from its own
+:class:`CellSpec` seed, the inter-cell latency table comes from the plan
+(identical for co-located and cut pairs), and each cell's workload RNG
+streams are derived from the cell index -- so moving a cell between
+shards never changes what the cell *does*, only where it executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ShardError
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.net.addresses import Endpoint
+from repro.net.links import FixedLatency
+from repro.net.network import Network
+from repro.shard.plan import ShardPlan, ShardPlanner
+from repro.sim.events import EventLoop
+from repro.sim.random import SeededRng
+from repro.workload.clients import OpenLoopGenerator
+from repro.workload.trace import DiurnalConfig, DiurnalTrace, generate_diurnal_trace
+
+SETTLE_SECONDS = 1.0  # per-shard warmup before the first barrier window
+
+
+@dataclass
+class ScaleWorldConfig:
+    """Sizing for the sharded scale experiment."""
+
+    seed: int = 2016
+    num_cells: int = 4
+    num_shards: int = 1
+    # per-cell deployment (small: the point is many cells, not big ones)
+    num_lb_instances: int = 3
+    num_store_servers: int = 2
+    num_backends: int = 3
+    num_client_hosts: int = 2
+    object_count: int = 40
+    object_bytes: int = 6_000
+    # inter-cell fabric
+    cross_latency: float = 0.010  # dc <-> dc one-way (the lookahead floor)
+    client_cross_latency: float = 0.030  # net <-> remote dc one-way
+    cross_fraction: float = 0.15  # of each cell's rate aimed at a neighbor
+    http_timeout: float = 8.0
+    diurnal: DiurnalConfig = field(default_factory=DiurnalConfig)
+
+    @classmethod
+    def from_testbed(cls, cfg: TestbedConfig,
+                     num_cells: Optional[int] = None,
+                     diurnal: Optional[DiurnalConfig] = None
+                     ) -> "ScaleWorldConfig":
+        """Lift one testbed's shape into a multi-cell sharded world.
+
+        ``cfg.num_shards`` is the opt-in knob: every cell is a replica of
+        the given deployment shape (sizes, seed), partitioned by VIP
+        across that many shards.
+        """
+        if cfg.cell is not None:
+            raise ShardError(
+                "pass the base (un-namespaced) TestbedConfig; cells are "
+                "stamped by the planner")
+        shards = max(1, cfg.num_shards)
+        return cls(
+            seed=cfg.seed,
+            num_cells=num_cells if num_cells is not None else shards,
+            num_shards=shards,
+            num_lb_instances=cfg.num_lb_instances,
+            num_store_servers=cfg.num_store_servers,
+            num_backends=cfg.num_backends,
+            num_client_hosts=cfg.num_client_hosts,
+            object_count=cfg.flat_object_count,
+            object_bytes=cfg.flat_object_bytes,
+            diurnal=diurnal or DiurnalConfig(seed=cfg.seed),
+        )
+
+
+def make_scale_plan(cfg: ScaleWorldConfig) -> ShardPlan:
+    """Plan the cell cut; client paths are slower than the DC backbone,
+    so the backbone's 10 ms stays the conservative lookahead window."""
+    models = {}
+    client_model = FixedLatency(cfg.client_cross_latency)
+    for j in range(cfg.num_cells):
+        for k in range(cfg.num_cells):
+            if j == k:
+                continue
+            models[(f"net{j}", f"dc{k}")] = client_model
+            models[(f"dc{j}", f"net{k}")] = client_model
+    planner = ShardPlanner(
+        num_cells=cfg.num_cells,
+        num_shards=cfg.num_shards,
+        seed=cfg.seed,
+        cross_model=FixedLatency(cfg.cross_latency),
+        cross_models=models,
+    )
+    return planner.plan()
+
+
+class ScaleShardWorld:
+    """One shard's slice of the scale world: its cells plus their load."""
+
+    def __init__(self, shard_index: int, plan: ShardPlan,
+                 cfg: ScaleWorldConfig):
+        self.shard_index = shard_index
+        self.loop = EventLoop()
+        rng = SeededRng(plan.seed).fork(f"shardworld/{shard_index}")
+        self.network = Network(self.loop, rng)
+        # the full inter-cell latency table: identical on every shard, so
+        # a cell pair behaves the same co-located or cut
+        for (src, dst), model in plan.models.items():
+            self.network.set_latency(src, dst, model)
+
+        self.beds: Dict[int, Testbed] = {}
+        self.generators: List[OpenLoopGenerator] = []
+        self.traces: Dict[int, DiurnalTrace] = {}
+        for cell in plan.cells_on(shard_index):
+            self.beds[cell.index] = Testbed(
+                TestbedConfig(
+                    seed=cell.seed,
+                    cell=cell.index,
+                    lb="yoda",
+                    num_lb_instances=cfg.num_lb_instances,
+                    num_store_servers=cfg.num_store_servers,
+                    num_backends=cfg.num_backends,
+                    num_client_hosts=cfg.num_client_hosts,
+                    corpus="flat",
+                    flat_object_count=cfg.object_count,
+                    flat_object_bytes=cfg.object_bytes,
+                ),
+                fabric=(self.loop, self.network),
+                settle=False,
+            )
+        # one settle for the whole shard: mappings and monitors converge
+        # before the first barrier window (no cross-cell traffic yet, so
+        # settling without barriers is safe)
+        self.loop.run_for(SETTLE_SECONDS)
+
+        for cell in plan.cells_on(shard_index):
+            self._start_cell_load(cell.index, plan, cfg)
+
+    def _start_cell_load(self, k: int, plan: ShardPlan,
+                         cfg: ScaleWorldConfig) -> None:
+        bed = self.beds[k]
+        trace = generate_diurnal_trace(cfg.diurnal, stream=f"cell{k}")
+        self.traces[k] = trace
+        neighbor = plan.cells[(k + 1) % len(plan.cells)]
+        legs: List[Tuple[OpenLoopGenerator, float]] = []
+        local = OpenLoopGenerator(
+            bed.client_stacks[0], self.loop, Endpoint(bed.vip, 80),
+            rate=max(0.1, trace.sim_rates[0] * (1.0 - cfg.cross_fraction)),
+            path_fn=bed.website.random_object,
+            http_timeout=cfg.http_timeout,
+        )
+        legs.append((local, 1.0 - cfg.cross_fraction))
+        if cfg.cross_fraction > 0 and neighbor.index != k:
+            # every cell's flat corpus has the same paths, so a remote
+            # fetch needs no knowledge of the remote cell beyond its VIP
+            cross = OpenLoopGenerator(
+                bed.client_stacks[-1], self.loop,
+                Endpoint(neighbor.vip, 80),
+                rate=max(0.1, trace.sim_rates[0] * cfg.cross_fraction),
+                path_fn=bed.website.random_object,
+                http_timeout=cfg.http_timeout,
+            )
+            legs.append((cross, cfg.cross_fraction))
+        for gen, share in legs:
+            gen.start()
+            self.generators.append(gen)
+            for t, rate in zip(trace.times[1:], trace.sim_rates[1:]):
+                self.loop.call_later(t, gen.set_rate, max(0.1, rate * share))
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "cells": len(self.beds),
+            "fetches_issued": sum(g.issued for g in self.generators),
+            "fetches_ok": sum(g.ok_count() for g in self.generators),
+            "fetches_failed": sum(g.failure_count() for g in self.generators),
+        }
+
+
+def scale_world_builder(cfg: ScaleWorldConfig):
+    """The ``WorldBuilder`` the sharded runner forks into each worker."""
+
+    def build(shard_index: int, plan: ShardPlan) -> ScaleShardWorld:
+        return ScaleShardWorld(shard_index, plan, cfg)
+
+    return build
+
+
+def run_testbed_sharded(config: TestbedConfig, duration: float,
+                        num_cells: Optional[int] = None,
+                        diurnal: Optional[DiurnalConfig] = None,
+                        mode: Optional[str] = None):
+    """The ``TestbedConfig.num_shards`` facade: run cell-replicas of a
+    deployment shape under diurnal load through the barrier engine.
+
+    ``num_shards=1`` (the default everywhere) stays on the in-process
+    path -- one worker, no gateway, no export handler.  ``mode`` defaults
+    to ``inline`` for one shard and ``fork`` for more.
+    """
+    from repro.shard.runner import ShardedRunner
+
+    cfg = ScaleWorldConfig.from_testbed(config, num_cells=num_cells,
+                                        diurnal=diurnal)
+    plan = make_scale_plan(cfg)
+    if mode is None:
+        mode = "inline" if cfg.num_shards == 1 else "fork"
+    runner = ShardedRunner(plan, scale_world_builder(cfg), mode=mode)
+    return runner.run(duration)

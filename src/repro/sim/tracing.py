@@ -8,6 +8,7 @@ recorded with its simulated timestamp and a structured summary.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional
 
@@ -35,6 +36,41 @@ class TraceRecord:
             f"{self.src} > {self.dst}: {self.flags} seq={self.seq} "
             f"ack={self.ack} len={self.payload_len}{drop}"
         )
+
+
+def canonical_trace_line(rec: TraceRecord) -> str:
+    """One record as a stable line; schedule digests are folded over these.
+
+    This is the same rendering the golden-trace suite pins, so a shard
+    worker's running digest and a golden file's digest are directly
+    comparable.
+    """
+    return (
+        f"{rec.time:.9f} {rec.point} {rec.direction} "
+        f"{rec.src}>{rec.dst} {rec.flags} seq={rec.seq} ack={rec.ack} "
+        f"len={rec.payload_len}{' DROPPED' if rec.dropped else ''}"
+    )
+
+
+class DigestTrace:
+    """A trace tap that keeps no records -- only a running SHA-256.
+
+    Shard workers attach one of these so a multi-hour, multi-million-packet
+    run stays O(1) in memory while still producing a schedule digest the
+    barrier coordinator can merge and compare across runs.
+    """
+
+    def __init__(self, name: str = "digest"):
+        self.name = name
+        self._sha = hashlib.sha256()
+        self.count = 0
+
+    def record(self, rec: TraceRecord) -> None:
+        self._sha.update(canonical_trace_line(rec).encode())
+        self.count += 1
+
+    def digest(self) -> str:
+        return self._sha.hexdigest()
 
 
 class PacketTrace:

@@ -170,6 +170,107 @@ def _bursty(rng: SeededRng, n: int, base: float) -> List[float]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# Diurnal + flash-crowd load trace (the sharded scale experiment's input;
+# sized in modeled *users*, then compressed onto simulation time)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DiurnalConfig:
+    """A population-scale day of traffic, compressed for simulation.
+
+    The modeled side is millions of users on a 24 h cycle; the simulated
+    side plays the same *shape* in ``sim_seconds`` of virtual time with
+    ``sim_fraction`` of the modeled request rate, so the generator also
+    serves the future autoscaler experiment at full modeled scale.
+    """
+
+    seed: int = 2016
+    users: int = 2_000_000  # modeled population
+    requests_per_user_hour: float = 6.0  # each, while active
+    diurnal_amplitude: float = 0.55  # peak/trough swing around the mean
+    peak_hour: float = 20.0  # evening peak, like the paper's Figure 15
+    # flash crowds: (start as a fraction of the day, rate multiplier at
+    # the spike, width as a fraction of the day)
+    flash_crowds: Tuple[Tuple[float, float, float], ...] = (
+        (0.35, 3.0, 0.04),
+        (0.70, 5.0, 0.02),
+    )
+    noise: float = 0.03  # multiplicative per-interval jitter
+    # compression onto simulation time
+    sim_seconds: float = 40.0  # virtual seconds covering the whole day
+    interval_seconds: float = 2.0  # rate-update cadence (sim time)
+    sim_fraction: float = 2e-4  # fraction of modeled rps actually issued
+
+    @property
+    def modeled_base_rps(self) -> float:
+        return self.users * self.requests_per_user_hour / 3600.0
+
+    @property
+    def num_intervals(self) -> int:
+        return max(1, int(round(self.sim_seconds / self.interval_seconds)))
+
+
+@dataclass
+class DiurnalTrace:
+    """Per-interval request rates: modeled (population) and simulated."""
+
+    config: DiurnalConfig
+    times: List[float]  # sim-time start of each interval
+    modeled_rps: List[float]
+    sim_rates: List[float]
+
+    def rate_at(self, sim_time: float) -> float:
+        """Simulated request rate in force at ``sim_time``."""
+        idx = min(len(self.sim_rates) - 1,
+                  max(0, int(sim_time / self.config.interval_seconds)))
+        return self.sim_rates[idx]
+
+    def peak_to_mean(self) -> float:
+        mean = sum(self.modeled_rps) / len(self.modeled_rps)
+        return max(self.modeled_rps) / mean if mean > 0 else 1.0
+
+
+def diurnal_shape(cfg: DiurnalConfig, day_fraction: float) -> float:
+    """The deterministic rate multiplier at a point in the day ([0, 1))."""
+    hour = (day_fraction * 24.0) % 24.0
+    level = 1.0 + cfg.diurnal_amplitude * math.cos(
+        2 * math.pi * (hour - cfg.peak_hour) / 24.0)
+    for start, magnitude, width in cfg.flash_crowds:
+        if width <= 0:
+            continue
+        dist = abs(day_fraction - start)
+        if dist < width:
+            # triangular spike peaking at `magnitude` times the base
+            level = max(level, magnitude * (1.0 - dist / width))
+    return max(0.05, level)
+
+
+def generate_diurnal_trace(config: Optional[DiurnalConfig] = None,
+                           stream: str = "diurnal") -> DiurnalTrace:
+    """Build the compressed day.  Same config + stream => same trace,
+    bit-for-bit; distinct ``stream`` labels (one per cell) give phase-
+    aligned but independently jittered copies."""
+    cfg = config or DiurnalConfig()
+    rng = SeededRng(cfg.seed).fork(stream)
+    times: List[float] = []
+    modeled: List[float] = []
+    sim_rates: List[float] = []
+    base = cfg.modeled_base_rps
+    for i in range(cfg.num_intervals):
+        t = i * cfg.interval_seconds
+        frac = (t + 0.5 * cfg.interval_seconds) / cfg.sim_seconds
+        level = diurnal_shape(cfg, frac)
+        if cfg.noise > 0:
+            level *= max(0.2, 1.0 + rng.gauss(0, cfg.noise))
+        rps = base * level
+        times.append(t)
+        modeled.append(rps)
+        sim_rates.append(max(0.5, rps * cfg.sim_fraction))
+    return DiurnalTrace(config=cfg, times=times, modeled_rps=modeled,
+                        sim_rates=sim_rates)
+
+
 def uniform_instances(count: int, traffic_capacity: float,
                       rule_capacity: int) -> List[InstanceSpec]:
     """Homogeneous instance pool (the paper's instances are identical VMs)."""

@@ -76,8 +76,9 @@ class TestCli:
     def test_every_experiment_registered(self):
         # one CLI entry per paper table/figure (+ the CPU section, the
         # qos flash-crowd ablation, the multi-region failover study, the
-        # controller-HA outage study and the stateless-dispatch ablation)
+        # controller-HA outage study, the stateless-dispatch ablation
+        # and the sharded-simulation scaling study)
         expected = {"table1", "fig6", "fig9", "sec71", "fig10", "fig12",
                     "fig12b", "fig13", "fig14", "fig15", "fig16",
-                    "overload", "failover", "ctrl", "stateless"}
+                    "overload", "failover", "ctrl", "stateless", "scale"}
         assert set(EXPERIMENTS) == expected

@@ -1,0 +1,181 @@
+"""Barrier-protocol properties: the sharded cut must not change physics.
+
+The core claim of the conservative-lookahead design is that cutting a
+world across shards is *invisible* to the simulation: every packet
+arrives at the same host at the same virtual time as in a single-process
+run.  A toy two-cell ping-pong topology (fixed latencies, so the claim
+is exact, not statistical) is run three ways -- single process, 2-shard
+inline, 2-shard forked -- and the merged delivery schedules must match
+event for event.
+
+Plus direct unit properties of the window arithmetic and the
+deterministic routing sort.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.errors import ShardError
+from repro.net.addresses import Endpoint
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.packet import PACKET_POOL
+from repro.shard import BarrierCoordinator, ShardedRunner, ShardPlanner
+from repro.sim.events import EventLoop
+from repro.sim.random import SeededRng
+
+PING_COUNT = 16  # round trips per ping chain
+THINK = 0.00075  # local processing delay before a pong goes back out
+NUM_CELLS = 2
+
+Event = Tuple[float, str, str, int]
+
+
+def _host_ip(cell: int) -> str:
+    return f"10.3.{cell}.1"  # inside the cell's backend prefix
+
+
+def _wire_hosts(loop: EventLoop, network: Network, cells,
+                events: List[Event]) -> None:
+    """Attach one ping-pong host per cell and schedule the initial pings."""
+    for cell in cells:
+        host = network.attach(
+            Host(f"pinger{cell.index}", [_host_ip(cell.index)],
+                 site=cell.site))
+
+        def handler(pkt, host=host):
+            events.append((round(loop.now(), 9), pkt.src.ip, pkt.dst.ip,
+                           pkt.seq))
+            if pkt.seq > 0:
+                reply = PACKET_POOL.acquire(
+                    Endpoint(pkt.dst.ip, pkt.dst.port),
+                    Endpoint(pkt.src.ip, pkt.src.port),
+                    seq=pkt.seq - 1)
+                loop.call_later(THINK, host.send, reply)
+            PACKET_POOL.release(pkt)
+
+        host.set_handler(handler)
+
+    def kick(src_cell: int) -> None:
+        src = network.host(f"pinger{src_cell}")
+        dst_cell = (src_cell + 1) % NUM_CELLS
+        ping = PACKET_POOL.acquire(
+            Endpoint(_host_ip(src_cell), 9000),
+            Endpoint(_host_ip(dst_cell), 9000),
+            seq=PING_COUNT)
+        src.send(ping)
+
+    for cell in cells:
+        loop.call_later(0.1 + 0.013 * cell.index, kick, cell.index)
+
+
+class _ToyWorld:
+    """ShardWorld for one shard of the ping-pong topology."""
+
+    def __init__(self, shard_index: int, plan):
+        self.loop = EventLoop()
+        self.network = Network(self.loop, SeededRng(plan.seed))
+        for (src, dst), model in plan.models.items():
+            self.network.set_latency(src, dst, model)
+        self.events: List[Event] = []
+        _wire_hosts(self.loop, self.network, plan.cells_on(shard_index),
+                    self.events)
+
+    def stats(self) -> Dict[str, object]:
+        return {"events": tuple(self.events)}
+
+
+def _reference_schedule(plan, duration: float) -> List[Event]:
+    """All cells on one network in one process: the ground truth."""
+    loop = EventLoop()
+    network = Network(loop, SeededRng(plan.seed))
+    for (src, dst), model in plan.models.items():
+        network.set_latency(src, dst, model)
+    events: List[Event] = []
+    _wire_hosts(loop, network, plan.cells, events)
+    loop.run(until=duration)
+    return sorted(events)
+
+
+def _sharded_schedule(plan, duration: float, mode: str):
+    runner = ShardedRunner(plan, lambda i, p: _ToyWorld(i, p), mode=mode)
+    result = runner.run(duration)
+    merged: List[Event] = []
+    for stats in result.per_shard:
+        merged.extend(tuple(e) for e in stats["events"])
+    return sorted(merged), result
+
+
+@pytest.fixture(scope="module")
+def plan2():
+    return ShardPlanner(num_cells=NUM_CELLS, num_shards=2, seed=2016).plan()
+
+
+class TestCutInvariance:
+    DURATION = 2.0
+
+    def test_two_shard_inline_matches_single_process(self, plan2):
+        reference = _reference_schedule(plan2, self.DURATION)
+        sharded, result = _sharded_schedule(plan2, self.DURATION, "inline")
+        # the chains actually ran and actually crossed the cut
+        assert len(reference) == 2 * (PING_COUNT + 1)
+        assert result.cross_shard_packets > 0
+        assert sharded == reference
+
+    def test_two_shard_forked_matches_single_process(self, plan2):
+        reference = _reference_schedule(plan2, self.DURATION)
+        sharded, result = _sharded_schedule(plan2, self.DURATION, "fork")
+        assert result.cross_shard_packets > 0
+        assert sharded == reference
+
+    def test_sharded_run_is_reproducible(self, plan2):
+        first, r1 = _sharded_schedule(plan2, self.DURATION, "inline")
+        second, r2 = _sharded_schedule(plan2, self.DURATION, "inline")
+        assert first == second
+        assert r1.digest == r2.digest
+
+
+class TestWindowArithmetic:
+    def test_windows_cover_duration_exactly(self, plan2):
+        coord = BarrierCoordinator(plan2)
+        ends = coord.window_ends(3.0, 1.0)
+        assert ends[-1] == pytest.approx(4.0)
+        assert all(b > a for a, b in zip(ends, ends[1:]))
+        assert all(e - s <= plan2.window + 1e-12
+                   for s, e in zip([3.0] + ends, ends))
+
+    def test_non_multiple_duration_gets_a_short_final_window(self, plan2):
+        coord = BarrierCoordinator(plan2)
+        ends = coord.window_ends(0.0, plan2.window * 2.5)
+        assert len(ends) == 3
+        assert ends[-1] == pytest.approx(plan2.window * 2.5)
+
+    def test_duration_shorter_than_window(self, plan2):
+        coord = BarrierCoordinator(plan2)
+        assert coord.window_ends(0.0, plan2.window / 10) == [
+            pytest.approx(plan2.window / 10)]
+
+
+class TestDeterministicRouting:
+    def _export(self, dst, arrival, seq, host="h", wire=("w",)):
+        return (dst, arrival, seq, host, wire)
+
+    def test_batches_sorted_by_arrival_origin_seq(self, plan2):
+        coord = BarrierCoordinator(plan2)
+        exports = [
+            [self._export(1, 0.5, 2), self._export(1, 0.2, 1)],
+            [self._export(1, 0.2, 0), self._export(0, 0.3, 0)],
+        ]
+        out = coord.route(exports)
+        assert [d[:3] for d in out[1]] == [
+            (0.2, 0, 1), (0.2, 1, 0), (0.5, 0, 2)]
+        assert [d[:3] for d in out[0]] == [(0.3, 1, 0)]
+        assert coord.packets_routed == 4
+
+    def test_unknown_destination_shard_rejected(self, plan2):
+        coord = BarrierCoordinator(plan2)
+        with pytest.raises(ShardError, match="unknown shard"):
+            coord.route([[self._export(9, 0.1, 0)]])

@@ -1,0 +1,85 @@
+"""ShardPlanner unit properties: seeds, assignment, window, ownership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardError
+from repro.net.links import FixedLatency, JitterLatency
+from repro.shard import ShardPlanner
+
+
+class TestPlannerValidation:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ShardError, match="num_shards"):
+            ShardPlanner(num_cells=4, num_shards=0)
+
+    def test_more_shards_than_cells_rejected(self):
+        with pytest.raises(ShardError, match="cannot spread"):
+            ShardPlanner(num_cells=2, num_shards=4)
+
+    def test_zero_lookahead_link_rejected(self):
+        planner = ShardPlanner(num_cells=2, num_shards=2,
+                               cross_model=FixedLatency(0.0))
+        with pytest.raises(ShardError, match="zero"):
+            planner.plan()
+
+    def test_single_shard_tolerates_degenerate_default(self):
+        # no cross-shard links exist, so a zero-bound model is fine; the
+        # plan still needs a usable stepping quantum
+        plan = ShardPlanner(num_cells=2, num_shards=1,
+                            cross_model=FixedLatency(0.0)).plan()
+        assert plan.window > 0.0
+
+
+class TestPlanShape:
+    def test_round_robin_assignment(self):
+        plan = ShardPlanner(num_cells=5, num_shards=2).plan()
+        assert plan.assignment == {0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+        assert [c.index for c in plan.cells_on(1)] == [1, 3]
+
+    def test_cell_seeds_stable_and_layout_independent(self):
+        one = ShardPlanner(num_cells=4, num_shards=1).plan()
+        four = ShardPlanner(num_cells=4, num_shards=4).plan()
+        assert [c.seed for c in one.cells] == [c.seed for c in four.cells]
+        # distinct cells get distinct seeds
+        assert len({c.seed for c in one.cells}) == 4
+
+    def test_seed_changes_cell_seeds(self):
+        a = ShardPlanner(num_cells=2, num_shards=1, seed=1).plan()
+        b = ShardPlanner(num_cells=2, num_shards=1, seed=2).plan()
+        assert [c.seed for c in a.cells] != [c.seed for c in b.cells]
+
+    def test_window_is_min_cross_shard_lower_bound(self):
+        models = {("dc0", "dc1"): FixedLatency(0.050),
+                  ("dc1", "dc0"): JitterLatency(0.020, 0.004)}
+        plan = ShardPlanner(num_cells=2, num_shards=2,
+                            cross_model=FixedLatency(0.030),
+                            cross_models=models).plan()
+        assert plan.window == pytest.approx(0.020)
+
+    def test_models_cover_colocated_pairs_too(self):
+        """The physics table is layout-independent: the same pair keys
+        exist no matter how the cells are cut."""
+        one = ShardPlanner(num_cells=4, num_shards=1).plan()
+        two = ShardPlanner(num_cells=4, num_shards=2).plan()
+        assert set(one.models) == set(two.models)
+        assert ("dc0", "dc2") in one.models  # co-located in the 2-shard cut
+        # but only genuinely cut pairs are lookahead links
+        assert all(one.shard_of_cell(0) == one.shard_of_cell(k)
+                   for k in range(4)) and not one.links
+        assert two.links
+
+
+class TestOwnership:
+    def test_owner_of_ip_resolves_every_cell_prefix(self):
+        plan = ShardPlanner(num_cells=3, num_shards=3).plan()
+        assert plan.owner_of_ip("10.3.1.7") == (1, "dc1")
+        assert plan.owner_of_ip("172.16.2.9") == (2, "net2")
+        assert plan.owner_of_ip("100.64.0.1") == (0, "dc0")
+        assert plan.owner_of_ip("10.255.2.1") == (2, "dc2")
+
+    def test_unknown_ip_is_unowned(self):
+        plan = ShardPlanner(num_cells=2, num_shards=2).plan()
+        assert plan.owner_of_ip("8.8.8.8") is None
+        assert plan.owner_of_ip("10.3.9.1") is None  # no such cell

@@ -1,0 +1,130 @@
+"""PacketPool ownership transfer: detach/adopt round-trips and misuse.
+
+A packet crossing a shard boundary is serialized by ``detach()`` (the
+sending pool gives up ownership; the object is fenced) and rebuilt by
+``adopt()`` on the receiving pool.  Every way of violating the transfer
+protocol -- double release, double detach, detaching a freed packet,
+releasing after detach, mutating a detached packet before the barrier
+reclaims it, feeding garbage to adopt -- must raise ``ShardError``
+loudly rather than corrupt state silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardError
+from repro.net.addresses import Endpoint
+from repro.net.packet import ACK, SYN, PacketPool, WIRE_VERSION
+
+
+def _mk(pool, **kw):
+    return pool.acquire(Endpoint("10.0.0.1", 1234), Endpoint("10.0.1.1", 80),
+                        **kw)
+
+
+class TestDetachAdoptRoundTrip:
+    def test_wire_fields_survive(self):
+        a, b = PacketPool(), PacketPool()
+        pkt = _mk(a, flags=SYN | ACK, seq=7, ack=41, payload=b"hello")
+        pkt.meta["route"] = "vip"
+        pkt.meta["hops"] = 3
+        wire = a.detach(pkt)
+        assert wire[0] == WIRE_VERSION
+        clone = b.adopt(wire)
+        assert clone.src == Endpoint("10.0.0.1", 1234)
+        assert clone.dst == Endpoint("10.0.1.1", 80)
+        assert clone.flags == SYN | ACK
+        assert (clone.seq, clone.ack, clone.payload) == (7, 41, b"hello")
+        assert clone.meta["route"] == "vip"
+        assert clone.meta["hops"] == 3
+        b.release(clone)
+
+    def test_wire_is_plain_data(self):
+        """Nothing object-shaped crosses the pipe: the wire tuple must
+        survive a pickle round-trip without custom reducers."""
+        import pickle
+
+        pool = PacketPool()
+        pkt = _mk(pool, payload=b"x", flags=SYN)
+        pkt.meta["tags"] = ("a", "b")
+        wire = pool.detach(pkt)
+        assert pickle.loads(pickle.dumps(wire)) == wire
+
+    def test_adopted_packet_is_a_fresh_object(self):
+        a, b = PacketPool(), PacketPool()
+        pkt = _mk(a, payload=b"zz")
+        wire = a.detach(pkt)
+        clone = b.adopt(wire)
+        assert clone is not pkt
+        assert clone.packet_id != pkt.packet_id or a is not b
+        b.release(clone)
+
+    def test_reclaim_returns_count_and_frees(self):
+        pool = PacketPool()
+        pkts = [_mk(pool) for _ in range(3)]
+        for p in pkts:
+            pool.detach(p)
+        assert pool.detached_count() == 3
+        assert pool.reclaim_detached() == 3
+        assert pool.detached_count() == 0
+        # freed objects are recyclable again
+        again = _mk(pool)
+        pool.release(again)
+
+    def test_counters(self):
+        a, b = PacketPool(), PacketPool()
+        wire = a.detach(_mk(a))
+        b.adopt(wire)
+        assert a.detached == 1
+        assert b.adopted == 1
+
+
+class TestTransferMisuse:
+    def test_double_detach_raises(self):
+        pool = PacketPool()
+        pkt = _mk(pool)
+        pool.detach(pkt)
+        with pytest.raises(ShardError, match="detached twice"):
+            pool.detach(pkt)
+
+    def test_detach_after_release_raises(self):
+        pool = PacketPool()
+        pkt = _mk(pool)
+        pool.release(pkt)
+        with pytest.raises(ShardError, match="released packet"):
+            pool.detach(pkt)
+
+    def test_release_after_detach_raises(self):
+        pool = PacketPool()
+        pkt = _mk(pool)
+        pool.detach(pkt)
+        with pytest.raises(ShardError, match="after detach"):
+            pool.release(pkt)
+
+    def test_mutate_after_detach_caught_at_reclaim(self):
+        pool = PacketPool()
+        pkt = _mk(pool, payload=b"original")
+        pool.detach(pkt)
+        pkt.payload = b"tampered"  # the sender no longer owns this object
+        with pytest.raises(ShardError, match="mutated"):
+            pool.reclaim_detached()
+
+    def test_adopt_rejects_bad_version(self):
+        pool = PacketPool()
+        with pytest.raises(ShardError, match="wire format"):
+            pool.adopt((WIRE_VERSION + 1, "10.0.0.1", 1, "10.0.0.2", 2,
+                        0, 0, 0, b"", ()))
+
+    def test_adopt_rejects_garbage(self):
+        pool = PacketPool()
+        for junk in (None, (), "packet", 42):
+            with pytest.raises(ShardError, match="wire format"):
+                pool.adopt(junk)
+
+    def test_detach_rejects_unserializable_meta(self):
+        pool = PacketPool()
+        pkt = _mk(pool)
+        pkt.meta["handler"] = lambda: None  # a live object must not cross
+        with pytest.raises(ShardError, match="handler"):
+            pool.detach(pkt)
