@@ -709,3 +709,69 @@ class NoSplitBrainPromotion:
             violations=violations,
             violation_count=len(violations),
         )
+
+
+class ScaleEventsConverge:
+    """The autoscaler must converge, not flap.  Audited from the engines'
+    event ledgers (every actuated scale event, journal-restored across
+    leader takeovers): within any sliding window of ``window`` seconds,
+
+    - the instance-scale direction (out vs in) changes at most
+      ``max_direction_changes`` times -- out/in/out/in is the classic
+      hysteresis failure, burning drains and spare adoptions to hold the
+      same capacity;
+    - at most ``max_events_per_window`` events fire at all -- even a
+      monotone stampede means the step limits or cooldowns are not
+      doing their job.
+
+    Store-membership events are held to the same event-count bound
+    (each one triggers a full anti-entropy pass) but not the direction
+    bound: one store move per instance-tier excursion is the design.
+    """
+
+    invariant = "scale-events-converge"
+
+    def __init__(self, window: float = 10.0, max_direction_changes: int = 2,
+                 max_events_per_window: int = 6):
+        self.window = window
+        self.max_direction_changes = max_direction_changes
+        self.max_events_per_window = max_events_per_window
+
+    def finalize(self, autoscalers) -> Verdict:
+        events = sorted(
+            (e for a in autoscalers for e in a.events), key=lambda e: e.at)
+        violations: List[Violation] = []
+        total = 0
+
+        def _flag(at: float, detail: str) -> None:
+            if len(violations) < MAX_VIOLATIONS_KEPT:
+                violations.append(Violation(
+                    self.invariant, at, "autoscale", detail,
+                    forensics=_forensics_tail(),
+                ))
+
+        instance_events = [e for e in events if e.kind in ("out", "in")]
+        for i, e in enumerate(instance_events):
+            total += 1
+            recent = [f for f in instance_events[:i + 1]
+                      if f.at > e.at - self.window]
+            flips = sum(1 for a, b in zip(recent, recent[1:])
+                        if a.kind != b.kind)
+            if flips > self.max_direction_changes:
+                _flag(e.at,
+                      f"{flips} direction changes inside {self.window:.0f}s "
+                      f"(> {self.max_direction_changes}): "
+                      + " -> ".join(f.kind for f in recent))
+        for i, e in enumerate(events):
+            recent = [f for f in events[:i + 1] if f.at > e.at - self.window]
+            if len(recent) > self.max_events_per_window:
+                _flag(e.at,
+                      f"{len(recent)} scale events inside {self.window:.0f}s "
+                      f"(> {self.max_events_per_window})")
+        return Verdict(
+            invariant=self.invariant,
+            ok=not violations,
+            checked=max(total, len(events)),
+            violations=violations,
+            violation_count=len(violations),
+        )

@@ -30,6 +30,7 @@ from repro.chaos.faults import (
     surge,
     wan_partition,
 )
+from repro.autoscale.policy import ElasticPolicy
 from repro.chaos.scenario import Scenario
 from repro.qos.config import QosConfig
 
@@ -226,6 +227,81 @@ _register(Scenario(
     ),
 ))
 
+
+_register(Scenario(
+    name="flash-crowd-autoscale",
+    description=(
+        "The flash crowd again -- but the pool starts at 2 instances and "
+        "the autoscaler, not an operator, must react: admission-bucket "
+        "pressure from the qos plane drives closed-loop scale-out (spare "
+        "adoption, 2 per event, 1.5 s cooldown) while the surge is still "
+        "ramping, then a serving instance crashes and the next pass must "
+        "backfill the lost capacity.  Accepted requests survive every "
+        "scale event and the event stream must converge (no thrash) -- "
+        "audited by no-accepted-request-dropped and scale-events-converge."
+    ),
+    faults=[
+        surge(2.0, 300.0, duration=4.0),
+        crash(9.0, "lb:serving"),
+    ],
+    object_bytes=80_000,
+    object_count=8,
+    num_lb_instances=2,
+    spare_instances=3,
+    cpu_scale=6.0,
+    http_timeout=15.0,
+    drain=12.0,
+    autoscale=ElasticPolicy(
+        high_watermark=0.70,
+        admission_pressure_high=0.40,
+        check_interval=0.5,
+        cooldown_out=1.5,
+        cooldown_in=8.0,
+        step_out=2,
+        min_instances=2,
+        max_instances=5,
+        scale_down=False,
+    ),
+    qos_config=QosConfig(
+        admission_rate=30.0,
+        admission_burst=20.0,
+        tier_floors=(0.0, 0.0, 0.6),
+        client_tiers=(("172.16.9.", 2),),
+    ),
+))
+
+_register(Scenario(
+    name="scale-in-during-region-kill",
+    description=(
+        "The autoscaler sees an idle pool and starts a make-before-break "
+        "scale-in drain -- and the whole primary region dies while that "
+        "drain is still bleeding flows.  The controller must not confuse "
+        "the in-flight voluntary drain with the region death: it promotes "
+        "the standby, resumes every established stream from replicated "
+        "flow state, and the 30 s scale-in cooldown keeps the policy from "
+        "piling further events onto the failover (scale-events-converge "
+        "audits exactly that)."
+    ),
+    faults=[
+        region_kill(3.5, "dc"),
+    ],
+    clients=0,  # page clients cannot outlive their region; streams can
+    streams=6,
+    duration=12.0,
+    drain=10.0,
+    standby_site="dc2",
+    num_lb_instances=4,
+    autoscale=ElasticPolicy(
+        low_watermark=0.30,
+        check_interval=1.0,
+        scale_down=True,
+        drain=True,
+        drain_deadline=6.0,
+        cooldown_out=30.0,
+        cooldown_in=30.0,
+        min_instances=3,
+    ),
+))
 
 _register(Scenario(
     name="region-kill",

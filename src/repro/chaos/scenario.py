@@ -30,8 +30,10 @@ from repro.chaos.invariants import (
     NoAcceptedRequestDropped,
     NoSplitBrainPromotion,
     ReplicationFactorMonitor,
+    ScaleEventsConverge,
     Verdict,
 )
+from repro.core.instance import YodaCostModel
 from repro.experiments.harness import Testbed, TestbedConfig
 from repro.l4lb.compact import StatelessConfig
 from repro.qos.config import QosConfig
@@ -65,6 +67,10 @@ class Scenario:
     num_controllers: int = 0  # lease-elected controller replicas
     lease_ttl: float = 1.5
     stepdown_grace: float = 0.0  # how long a cut-off leader keeps acting
+    # -- closed-loop elastic scaling (None = autoscaler disarmed) --
+    autoscale: Optional[object] = None  # ElasticPolicy (yoda only)
+    spare_instances: int = 0  # pre-provisioned spare instance VMs
+    cpu_scale: float = 1.0  # scales per-packet CPU cost so load is visible
     # long-lived streaming downloads riding alongside the page workload;
     # the region-failover invariant audits the ones established pre-kill
     streams: int = 0
@@ -97,6 +103,7 @@ class ScenarioOutcome:
     failed_over: bool = False  # controller promoted the standby region
     records_lost: int = 0  # store records that never reached the standby
     stateless: bool = False  # compact stateless dispatch was enabled
+    scale_events: int = 0  # autoscaler events actuated during the run
 
     @property
     def invariants_ok(self) -> bool:
@@ -122,6 +129,8 @@ class ScenarioOutcome:
             f"{'PASS' if self.ok else 'BROKEN'}",
             f"  pages: {self.pages_loaded} loaded, {self.broken_pages} broken",
         ]
+        if self.scale_events:
+            lines.append(f"  scale events: {self.scale_events}")
         if self.streams_completed or self.streams_broken:
             lines.append(
                 f"  streams: {self.streams_completed} completed, "
@@ -172,6 +181,13 @@ class ScenarioEngine:
 
     def build(self) -> Testbed:
         s = self.scenario
+        cost = None
+        if s.cpu_scale != 1.0:
+            base = YodaCostModel()
+            cost = YodaCostModel(
+                packet_cpu_base=base.packet_cpu_base * s.cpu_scale,
+                packet_cpu_per_byte=base.packet_cpu_per_byte * s.cpu_scale,
+            )
         self.bed = Testbed(TestbedConfig(
             seed=self.seed,
             lb=self.lb,
@@ -190,6 +206,9 @@ class ScenarioEngine:
             num_controllers=s.num_controllers if self.lb == "yoda" else 0,
             lease_ttl=s.lease_ttl,
             stepdown_grace=s.stepdown_grace,
+            autoscale=s.autoscale if self.lb == "yoda" else None,
+            spare_instances=s.spare_instances if self.lb == "yoda" else 0,
+            **({"yoda_cost": cost} if cost is not None else {}),
         ))
         self.monitor = InvariantMonitor(self.bed)
         self.bed.network.add_trace(self.monitor)
@@ -246,6 +265,11 @@ class ScenarioEngine:
             verdicts.append(ControlPlaneStaticStability().finalize(
                 self.fleet.clients if self.fleet is not None else [],
                 replica_set.leaderless_windows(bed.loop.now())))
+        autoscalers = (bed.yoda.autoscalers if bed.yoda is not None else [])
+        scale_events = 0
+        if autoscalers:
+            verdicts.append(ScaleEventsConverge().finalize(autoscalers))
+            scale_events = sum(len(a.events) for a in autoscalers)
         return ScenarioOutcome(
             scenario=s.name,
             lb=self.lb,
@@ -270,6 +294,7 @@ class ScenarioEngine:
             stateless=bool(self.lb == "yoda"
                            and s.stateless_config is not None
                            and s.stateless_config.enabled),
+            scale_events=scale_events,
         )
 
     def _advance(self, duration: float) -> None:
@@ -314,9 +339,10 @@ def run_scenario(scenario: Scenario, lb: str = "yoda",
 def run_contrast(scenario: Scenario, seed: int = 2016,
                  repair: bool = True) -> Dict[str, ScenarioOutcome]:
     """The Figure 12 contrast: same schedule, both LB tiers.  Multi-region
-    scenarios are YODA-only (HAProxy keeps no external flow state to
-    replicate), so those skip the baseline leg."""
+    and autoscale scenarios are YODA-only (HAProxy keeps no external flow
+    state to replicate and no elastic control loop), so those skip the
+    baseline leg."""
     out = {"yoda": run_scenario(scenario, lb="yoda", seed=seed, repair=repair)}
-    if scenario.standby_site is None:
+    if scenario.standby_site is None and scenario.autoscale is None:
         out["haproxy"] = run_scenario(scenario, lb="haproxy", seed=seed)
     return out

@@ -35,6 +35,7 @@ from repro.experiments import (
     fig15,
     fig16,
     fig_ctrl,
+    fig_elastic,
     fig_failover,
     fig_overload,
     fig_scale,
@@ -113,6 +114,12 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
         lambda seed: fig_scale.run(seed=seed),
         lambda seed: fig_scale.quick(seed=seed),
     ),
+    "elastic": (
+        "autoscaled vs static-peak cost on the diurnal day "
+        "(BENCH_elastic.json)",
+        lambda seed, **kw: fig_elastic.run(seed=seed, **kw),
+        lambda seed, **kw: fig_elastic.quick(seed=seed, **kw),
+    ),
     "stateless": (
         "stateless compact dispatch: memory/flow, speed, crash ablation",
         lambda seed: fig_stateless.run_ablation(seed=seed),
@@ -148,6 +155,10 @@ def main(argv=None) -> int:
     runp.add_argument("--seed", type=int, default=2016)
     runp.add_argument("--quick", action="store_true",
                       help="smaller workloads, same shapes")
+    runp.add_argument("--no-autoscale", action="store_true",
+                      help="(elastic only) run just the floor-provisioned "
+                           "ablation leg with the control loop disarmed -- "
+                           "pinned to blow the SLO under the flash crowd")
     chaosp = sub.add_parser(
         "chaos", help="run a chaos scenario ('list', a name, or 'all')")
     chaosp.add_argument("scenario", nargs="?", default=None)
@@ -202,8 +213,11 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _, full, quick = EXPERIMENTS[name]
+        kwargs = {}
+        if name == "elastic" and args.no_autoscale:
+            kwargs["autoscale"] = False
         started = time.perf_counter()
-        result = (quick if args.quick else full)(args.seed)
+        result = (quick if args.quick else full)(args.seed, **kwargs)
         elapsed = time.perf_counter() - started
         print(result.render())
         print(f"[{name} finished in {elapsed:.1f}s]\n")

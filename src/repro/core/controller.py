@@ -170,8 +170,9 @@ class YodaController:
         self._instance_alive: Dict[str, bool] = {}
         self._instance_health = ControllerHealthView(down_after, up_after)
         self._kv_health = ControllerHealthView(down_after, up_after)
-        self._autoscale: Optional[AutoscaleConfig] = None
-        self._scaler: Optional[PeriodicTask] = None
+        # closed-loop elastic scaling (repro.autoscale); None until armed
+        # via enable_autoscaling (legacy preset) or attach_autoscaler
+        self.autoscaler = None
         self.draining: Set[str] = set()
         self.drain_deadline = drain_deadline
         self.drain_check_interval = drain_check_interval
@@ -227,8 +228,8 @@ class YodaController:
     def halt(self) -> None:
         """Stop every periodic activity (the controller process died)."""
         self._monitor.stop()
-        if self._scaler is not None:
-            self._scaler.stop()
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         if self._drainer is not None:
             self._drainer.halt()
 
@@ -238,9 +239,8 @@ class YodaController:
         from the journal; if another replica leads, they are not ours."""
         if not self._monitor.running:
             self._monitor.start()
-        if self._scaler is not None and self._autoscale is not None \
-                and not self._scaler.running:
-            self._scaler.start()
+        if self.autoscaler is not None and not self.autoscaler.running:
+            self.autoscaler.start()
 
     def journal_sync(self) -> None:
         """Persist the control-plane state after a mutation (leaders
@@ -278,7 +278,7 @@ class YodaController:
                     "instances_added", "instances_removed"):
             if key in self.metrics.counters:
                 counters[key] = self.metrics.counters[key].value
-        return {
+        state = {
             "epoch": self.token.epoch if self.token is not None else -1,
             "holder": self.token.holder if self.token is not None else "",
             "assignments": {vip: list(names)
@@ -292,6 +292,11 @@ class YodaController:
             "compact_versions": dict(self.compact_versions),
             "counters": counters,
         }
+        if self.autoscaler is not None:
+            # cooldown clocks + event-ledger tail: a successor's engine
+            # resumes mid-flight scale events instead of re-deciding cold
+            state["autoscale"] = self.autoscaler.journal_state()
+        return state
 
     def take_over(self, token, state: Optional[Dict], registry) -> None:
         """Become the acting leader: hydrate from operator intent
@@ -410,6 +415,13 @@ class YodaController:
                         f"compact table for {vip} regressed below the "
                         f"journaled version {floor} during takeover"
                     )
+        # 5b. the old leader's autoscaler state: cooldown clocks and the
+        # scale-event ledger, so the new leader's engine neither flaps
+        # (cooldowns reset) nor forgets which stores were elastic.  The
+        # interrupted scale-in itself was already resumed above as a
+        # journaled drain.
+        if self.autoscaler is not None:
+            self.autoscaler.restore(prev.get("autoscale"))
         # 7. counters carry across leaderships (monotonic adoption)
         for key, value in prev.get("counters", {}).items():
             counter = self.metrics.counter(key)
@@ -546,6 +558,14 @@ class YodaController:
             else:
                 for vip in vips:
                     self.l4lb.snat.release(vip, instance.ip)
+                # Every flow finished, but the muxes still hold this
+                # instance's 5-tuple pins until their idle timeout.  The
+                # client-side keys are ephemeral; the server-side keys
+                # (backend -> VIP:snat-port) RECUR the moment the released
+                # port block is re-allocated -- a stale pin would then
+                # steer the new owner's SYN-ACKs at this parked instance,
+                # which RSTs them.  Flush now, while the pins are dead.
+                self.l4lb.flush_instance(instance.ip, token=self.token)
                 self.metrics.counter("drains_completed").inc()
             # the instance has left the deployment: drop its monitor and
             # health-view entries so a later re-add starts clean
@@ -866,58 +886,24 @@ class YodaController:
 
     # ------------------------------------------------------------- autoscale --
     def enable_autoscaling(self, config: Optional[AutoscaleConfig] = None) -> None:
-        self._autoscale = config or AutoscaleConfig()
+        """Arm the legacy Fig. 13 CPU-watermark policy.  Since the
+        autoscale subsystem landed this is a compatibility preset: the
+        same watermark/sizing arithmetic runs through
+        ``repro.autoscale``'s policy engine, decision-for-decision
+        identical to the historical in-controller pass."""
+        from repro.autoscale.engine import Autoscaler
+        from repro.autoscale.policy import ElasticPolicy
+
+        policy = ElasticPolicy.from_legacy(config or AutoscaleConfig())
+        self.attach_autoscaler(Autoscaler(self, policy))
+
+    def attach_autoscaler(self, autoscaler) -> None:
+        """Bind (and start) a closed-loop autoscaler on this replica."""
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+        self.autoscaler = autoscaler
+        # fresh utilization windows so the first decision sees only
+        # post-arming load
         for instance in self.instances.values():
             instance.cpu.reset_window()
-        self._scaler = PeriodicTask(
-            self.loop, self._autoscale.check_interval, self._autoscale_tick
-        )
-        self._scaler.start()
-
-    def _autoscale_tick(self) -> None:
-        if not self.acting():
-            return
-        try:
-            self._autoscale_pass()
-        except StaleLeaderEpoch as exc:
-            self.metrics.counter("pushes_fenced").inc()
-            if self.on_fenced is not None:
-                self.on_fenced(exc)
-        except Exception as exc:  # noqa: BLE001 - same boundary as the monitor
-            self.metrics.counter("monitor_tick_errors").inc()
-            if OBS.enabled:
-                OBS.flight("controller", "autoscale_error",
-                           f"{type(exc).__name__}: {exc}")
-
-    def _autoscale_pass(self) -> None:
-        assert self._autoscale is not None
-        live = [
-            self.instances[n] for n in self.instances
-            if self._instance_alive[n] and self.active.get(n)
-            and n not in self.draining
-        ]
-        if not live:
-            return
-        utils = [i.cpu.utilization_window() for i in live]
-        for i in live:
-            i.cpu.reset_window()
-        avg = sum(utils) / len(utils)
-        cfg = self._autoscale
-        if avg > cfg.high_watermark and self.spares:
-            import math
-
-            wanted = math.ceil(len(live) * avg / cfg.target)
-            to_add = min(max(wanted - len(live), 1), len(self.spares))
-            for _ in range(to_add):
-                spare = self.spares.pop(0)
-                self.add_instance(spare)
-            self.metrics.counter("scaled_up").inc(to_add)
-        elif cfg.scale_down and avg < cfg.low_watermark and len(live) > 1:
-            victim = live[-1]
-            if cfg.drain:
-                self.drain_instance(victim.name, to_spare=True)
-            else:
-                self.remove_instance(victim.name)
-                self.spares.append(victim)
-            self.metrics.counter("scaled_down").inc()
-            self.journal_sync()
+        autoscaler.start()

@@ -49,6 +49,14 @@ from repro.tcp.segment import seq_add, seq_diff
 DEFAULT_SNAT_RANGE = (40000, 41000)
 SERVER_SYN_RTO = 3.0
 SERVER_SYN_RETRIES = 3
+# How long a freshly-draining instance still ACCEPTS new SYNs.  The
+# drain-start mapping push needs one propagation round-trip to pull this
+# instance out of every mux ring; a SYN ring-routed here in that window
+# was sent by a client who could not have known better, and refusing it
+# costs them a full client SYN-RTO (3 s -- an SLO miss by itself).
+# Flows are short next to the forced-drain deadline, so the handful
+# admitted here finish long before the drain turns forced.
+DRAIN_SYN_GRACE = 0.5
 FLOW_LINGER = 1.0
 FLOW_IDLE_TIMEOUT = 120.0
 # A flow that has moved no packets for this long stops claiming its
@@ -252,6 +260,7 @@ class YodaInstance:
             if qos_config is not None else None
         )
         self.draining = False
+        self._drain_started: float = 0.0
         # receiver-side stale-leader rejection (core.leader.FenceGate),
         # attached by YodaService when the control plane is replicated;
         # None (the single-controller default) admits every control call
@@ -352,6 +361,7 @@ class YodaInstance:
         """
         self._admit(token, "start_drain")
         self.draining = True
+        self._drain_started = self.loop.now()
 
     def release_flows(self, token=None) -> None:
         """Forget all local flow state WITHOUT deleting the TCPStore
@@ -536,10 +546,13 @@ class YodaInstance:
             if flow.syn_stored:
                 self._send_syn_ack(flow)  # duplicate SYN: deterministic reply
             return
-        if self.draining:
-            # No new connections during make-before-break scale-in.  Drop
-            # the SYN silently: the client's retransmit re-hashes through
-            # the mux ring, which no longer includes this instance.
+        if (self.draining
+                and self.loop.now() - self._drain_started > DRAIN_SYN_GRACE):
+            # No new connections during make-before-break scale-in -- but
+            # only once the drain push has had time to pull us from the
+            # mux rings (DRAIN_SYN_GRACE).  After that, drop the SYN
+            # silently: the client's retransmit re-hashes through the mux
+            # ring, which no longer includes this instance.
             self.metrics.counter("syns_refused_draining").inc()
             if OBS.enabled:
                 OBS.flight(self.name, "drain_refuse", str(pkt.src))
@@ -1037,6 +1050,13 @@ class YodaInstance:
         in_use = self._snat_in_use.setdefault(vip, set())
         for attempt in range(2):
             port = self._snat_next.get(vip, lo)
+            if not lo <= port < hi:
+                # the allocator handed this instance a DIFFERENT block than
+                # last time (drain released the old one; a re-adoption gets
+                # whatever is free).  A stale cursor would mint ports inside
+                # another instance's block -- return traffic then routes to
+                # that owner and both connects wedge in SERVER_SYN_SENT.
+                port = lo
             for _ in range(hi - lo):
                 candidate = port
                 port = port + 1 if port + 1 < hi else lo

@@ -163,6 +163,8 @@ class YodaService:
         for i in range(cfg.num_instances):
             self.instances.append(self._build_instance(i))
         self._next_instance_id = cfg.num_instances
+        self._next_store_id = cfg.num_store_servers
+        self.autoscalers: List = []  # armed by enable_elastic
 
         controller_kwargs = {}
         if cfg.qos is not None:
@@ -375,12 +377,52 @@ class YodaService:
         """Provision an extra instance VM and hand it to the autoscaler."""
         instance = self._build_instance(self._next_instance_id)
         self._next_instance_id += 1
+        self.instances.append(instance)  # it is a VM, even while idle
         if self.replica_set is not None:
             instance.fence = FenceGate(instance.name)
             self.replica_set.add_spare(instance)
         else:
             self.controller.add_spare(instance)
         return instance
+
+    def new_spare_store(self) -> MemcachedServer:
+        """Provision an extra TCPStore VM for store-replica scale-out.
+        The caller (the autoscaler) adds it to the cluster; that
+        membership-epoch bump is what triggers anti-entropy refill."""
+        cfg = self.config
+        i = self._next_store_id
+        host = self.network.attach(
+            Host(f"{cfg.host_prefix}tcpstore-{i}",
+                 [f"{cfg.store_prefix}.{cfg.subnet}.{i + 1}"],
+                 site=cfg.site)
+        )
+        self._next_store_id += 1
+        server = MemcachedServer(host, self.loop)
+        self.store_servers.append(server)
+        return server
+
+    def enable_elastic(self, policy, scraper=None) -> List:
+        """Arm closed-loop elastic scaling (``repro.autoscale``).
+
+        Under controller HA every replica gets its own engine with the
+        same policy: the ``acting()`` gate means only the leader's ticks
+        actuate, and a takeover restores the journaled cooldown clocks
+        and event ledger so the loop resumes instead of restarting.
+        """
+        from repro.autoscale.engine import Autoscaler
+
+        targets = ([self._controller] if self._controller is not None
+                   else [r.controller for r in self.controller_replicas])
+        self.autoscalers = []
+        for ctl in targets:
+            ctl.attach_autoscaler(Autoscaler(
+                ctl, policy,
+                spawn_instance=self.new_spare_instance,
+                spawn_store=self.new_spare_store,
+                scraper=scraper,
+            ))
+            self.autoscalers.append(ctl.autoscaler)
+        return self.autoscalers
 
     def add_service(
         self,

@@ -112,6 +112,11 @@ class TestbedConfig:
     # enabled=False = armed but inert, enabled=True = O(1) dispatch with
     # no durable per-flow writes -- the Concury-style ablation)
     stateless: Optional[StatelessConfig] = None
+    # -- closed-loop elastic scaling (repro.autoscale) --
+    # an ElasticPolicy arms an autoscaler on every controller (replica);
+    # None keeps the deployment static (the historical default)
+    autoscale: Optional[object] = None  # yoda only
+    spare_instances: int = 0  # pre-provisioned spare instance VMs
     # -- sharded simulation (repro.shard) --
     # >1 partitions the world across this many worker processes; 1 is the
     # historical single-process path, untouched
@@ -276,6 +281,10 @@ class Testbed:
             self.yoda.add_service(
                 self.policy, {**self.backends, **self.standby_backends})
             self.l4lb = self.yoda.l4lb
+            for _ in range(cfg.spare_instances):
+                self.yoda.new_spare_instance()
+            if cfg.autoscale is not None:
+                self.yoda.enable_elastic(cfg.autoscale)
         elif cfg.lb == "haproxy":
             if cfg.standby_site is not None:
                 raise ValueError("multi-region is a yoda-only feature")

@@ -181,6 +181,19 @@ class L4Mux:
             instance_ip = owner
         else:
             instance_ip = entry.ring.lookup(flow_key)
+            if owner is not None and self.lb.snat.allocated_after(
+                    entry.vip, owner, entry.version):
+                # Return traffic for a SNAT owner whose range was born in
+                # a mapping push NEWER than this mux's entry: the push
+                # adding the owner (an autoscaler-adopted spare, say) is
+                # still propagating here.  The ring is computed from the
+                # STALE membership, so its guess is guaranteed wrong --
+                # forward straight to the owner instead, and never pin
+                # the route, so the race can't freeze a wrong entry in
+                # the flow table.  A dead owner's range is OLDER than the
+                # entry, so that path still pins the recovery target
+                # exactly as it always has.
+                return owner
         self.flow_table[flow_key] = _FlowEntry(instance_ip, now)
         return instance_ip
 

@@ -148,7 +148,7 @@ class L4LoadBalancer:
         # leader already installed, even across independent mux copies
         epoch = self.fence.epoch if self.fence is not None else -1
         for ip in instance_ips:
-            self.snat.ensure_range(vip, ip)
+            self.snat.ensure_range(vip, ip, version)
         compact = self._build_compact(vip, instance_ips, version)
         for mux in self.muxes:
             delay = 0.0 if immediate else self.rng.uniform(0.0, self.mapping_propagation)

@@ -28,9 +28,19 @@ class SnatAllocator:
         self.range_size = range_size
         # vip -> instance_ip -> (lo, hi) inclusive-exclusive
         self._ranges: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        # vip -> instance_ip -> mapping version at FIRST allocation.  The
+        # controller ensures ranges synchronously when it pushes a mapping,
+        # while each mux adopts that mapping after an independent delay --
+        # so a range born at a version newer than a mux's installed entry
+        # is proof the push adding its owner is still in flight to that
+        # mux (see L4Mux._route_stateful).  Sticky ranges keep the version
+        # of their first birth: re-adopted instances look old on purpose,
+        # preserving the historical pin-the-fallback behavior.
+        self._alloc_versions: Dict[str, Dict[str, int]] = {}
         self.exhaustions = 0  # failed allocations, for dashboards/tests
 
-    def ensure_range(self, vip: str, instance_ip: str) -> Tuple[int, int]:
+    def ensure_range(self, vip: str, instance_ip: str,
+                     version: int = 0) -> Tuple[int, int]:
         """Get (allocating if needed) the port range for an instance."""
         per_vip = self._ranges.setdefault(vip, {})
         if instance_ip in per_vip:
@@ -48,7 +58,14 @@ class SnatAllocator:
                            f"({len(per_vip)} allocated)")
             raise SnatExhausted(vip, instance_ip)
         per_vip[instance_ip] = (lo, hi)
+        self._alloc_versions.setdefault(vip, {})[instance_ip] = version
         return (lo, hi)
+
+    def allocated_after(self, vip: str, instance_ip: str, version: int) -> bool:
+        """Was this instance's range first allocated by a mapping push
+        NEWER than ``version``?  True means any mux whose entry is still
+        at ``version`` simply has not seen the owner yet."""
+        return self._alloc_versions.get(vip, {}).get(instance_ip, 0) > version
 
     def owner_of(self, vip: str, port: int) -> Optional[str]:
         """Which instance owns this SNAT port for this VIP, if any."""

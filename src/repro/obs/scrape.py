@@ -51,6 +51,7 @@ class MetricScraper:
         self.series: Dict[str, TimeSeries] = {}
         self.scrapes = 0
         self._last_counts: Dict[str, int] = {}
+        self._last_seen_at: Dict[str, float] = {}
         self._task = PeriodicTask(loop, interval, self.scrape_once)
 
     def start(self) -> "MetricScraper":
@@ -73,10 +74,20 @@ class MetricScraper:
             for name, counter in reg.counters.items():
                 key = f"{reg.name}.{name}"
                 self._series(f"{key}.total").record(now, counter.value)
-                last = self._last_counts.get(key, 0)
+                last = self._last_counts.get(key)
+                last_at = self._last_seen_at.get(key)
                 self._last_counts[key] = counter.value
+                self._last_seen_at[key] = now
+                # A counter's first sample has no baseline: attributing its
+                # whole history to one interval fabricates a rate spike, so
+                # the first scrape only records the baseline.  Across scrape
+                # gaps (a stopped/restarted scraper, a registry that appears
+                # late via the provider) the delta is divided by the time
+                # actually elapsed for *this* key, not the nominal interval.
+                if last is None or last_at is None or now <= last_at:
+                    continue
                 self._series(f"{key}.rate").record(
-                    now, (counter.value - last) / self.interval
+                    now, (counter.value - last) / (now - last_at)
                 )
             for name, gauge in reg.gauges.items():
                 self._series(f"{reg.name}.{name}").record(now, gauge.value)

@@ -122,3 +122,29 @@ def test_table1_single_site_smoke():
     result = table1.run(sites=[site], include_yoda=False)
     assert len(result.rows) == 1
     assert "timed-out" in result.rows[0]["impact_with_proxy_lb"]
+
+
+def test_fig_elastic_smoke(tmp_path):
+    from repro.experiments import fig_elastic
+
+    bench = tmp_path / "bench.json"
+    result = fig_elastic.run(sim_seconds=6.0, base_rps=30.0,
+                             static_instances=3, floor_instances=2,
+                             bench_path=str(bench))
+    assert [r["leg"] for r in result.rows] == [
+        "static-peak", "autoscaled", "floor-no-autoscale"]
+    for key in ("cost_ratio_auto_vs_static", "slo_autoscaled",
+                "invariants_ok", "contrast"):
+        assert key in result.summary
+    assert bench.exists()
+
+
+def test_fig_elastic_ablation_smoke(tmp_path):
+    from repro.experiments import fig_elastic
+
+    result = fig_elastic.run(sim_seconds=6.0, base_rps=30.0,
+                             static_instances=3, floor_instances=2,
+                             autoscale=False,
+                             bench_path=str(tmp_path / "bench.json"))
+    assert [r["leg"] for r in result.rows] == ["floor-no-autoscale"]
+    assert "ablation_blows_slo" in result.summary

@@ -56,6 +56,18 @@ class TestSnatAllocator:
         with pytest.raises(NetworkError):
             alloc.ensure_range(VIP, "b")
 
+    def test_allocation_version_gates_propagation_race(self):
+        # a range born in mapping push 7 is invisible to muxes whose
+        # entry predates 7 -- allocated_after is how the mux tells "the
+        # owner's push is still propagating" from "the owner is gone"
+        alloc = SnatAllocator()
+        alloc.ensure_range(VIP, "a", version=7)
+        assert alloc.allocated_after(VIP, "a", 6)
+        assert not alloc.allocated_after(VIP, "a", 7)
+        # re-ensuring an existing range never moves its birth version
+        alloc.ensure_range(VIP, "a", version=9)
+        assert not alloc.allocated_after(VIP, "a", 8)
+
 
 @pytest.fixture
 def world():

@@ -226,11 +226,15 @@ class TestScraper:
         scraper = MetricScraper(loop, registries=[reg], interval=0.5).start()
         reg.counter("hits").inc(10)
         reg.gauge("depth").set(3.0)
+        loop.run(until=0.6)  # first scrape: baseline only, no rate point
+        reg.counter("hits").inc(5)
         loop.run(until=2.0)
         scraper.stop()
         total = scraper.get("scraped.hits.total")
-        assert total.values[-1] == 10
+        assert total.values[-1] == 15
         rate = scraper.get("scraped.hits.rate")
-        assert max(rate.values) == pytest.approx(20.0)  # 10 in one 0.5s window
+        # pre-start history (10) is a baseline, never a rate spike; the 5
+        # hits that landed inside one 0.5 s window show up as 10/s
+        assert max(rate.values) == pytest.approx(10.0)
         assert scraper.get("scraped.depth").values[-1] == 3.0
         assert scraper.scrapes >= 3

@@ -94,8 +94,12 @@ class TestYodaService:
         assert len(views) == 1
 
     def test_new_spare_gets_fresh_identity(self, service):
+        existing = [i.name for i in service.instances]
         spare = service.new_spare_instance()
-        assert spare.name not in [i.name for i in service.instances]
+        assert spare.name not in existing
+        # the spare is a provisioned VM: visible in the fleet list (so
+        # chaos targeting can hit it) but parked in the spare pool
+        assert spare in service.instances
         assert spare in service.controller.spares
 
     def test_instance_by_name(self, service):
